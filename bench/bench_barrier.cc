@@ -1,0 +1,102 @@
+// Figure 3: Cost of Barrier Synchronization.
+//
+// Two metrics as defined in section 4.2, for high-locality and uniform
+// placements plus the single-hypernode reference of the authors' earlier
+// study [24]:
+//   * Last In - First Out: minimum time from the last thread entering the
+//     barrier to the first thread continuing (~3.5 us on one hypernode,
+//     +~1 us once a second hypernode is involved);
+//   * Last In - Last Out: minimum time from the last thread entering to the
+//     last thread continuing (~2 us per thread beyond the second on one
+//     hypernode, with an additional penalty across hypernodes).
+//
+// Methodology mirrors the paper: timestamps before entry and after exit of
+// every thread, many trials, minima reported.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "spp/rt/runtime.h"
+#include "spp/rt/sync.h"
+
+namespace {
+
+using namespace spp;
+
+struct BarrierCost {
+  double lifo_us;  ///< last in -> first out
+  double lilo_us;  ///< last in -> last out
+};
+
+BarrierCost barrier_cost(unsigned nodes, unsigned nthreads,
+                         rt::Placement placement, unsigned trials) {
+  rt::Runtime runtime(arch::Topology{.nodes = nodes});
+  double best_lifo = 1e300, best_lilo = 1e300;
+  runtime.run([&] {
+    rt::Barrier barrier(runtime, nthreads);
+    std::vector<sim::Time> entry(nthreads), exit_t(nthreads);
+    for (unsigned k = 0; k < trials; ++k) {
+      runtime.parallel(nthreads, placement, [&](unsigned i, unsigned) {
+        // Align first (cancels thread-creation stagger), then stagger
+        // arrivals in a per-trial permuted order so the minimum over trials
+        // samples favorable orderings, as the paper's minima do.
+        barrier.wait();
+        runtime.work_flops(5000.0 * ((i * 5 + k * 3) % nthreads) + 130.0 * (k % 3));
+        entry[i] = runtime.now();
+        barrier.wait();
+        exit_t[i] = runtime.now();
+      });
+      const sim::Time last_in = *std::max_element(entry.begin(), entry.end());
+      const sim::Time first_out =
+          *std::min_element(exit_t.begin(), exit_t.end());
+      const sim::Time last_out =
+          *std::max_element(exit_t.begin(), exit_t.end());
+      best_lifo = std::min(best_lifo, sim::to_usec(first_out - last_in));
+      best_lilo = std::min(best_lilo, sim::to_usec(last_out - last_in));
+    }
+  });
+  return {best_lifo, best_lilo};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = spp::bench::Options::parse(argc, argv);
+  spp::bench::header("Figure 3", "Cost of Barrier Synchronization", opts);
+  const unsigned trials = opts.full ? 40 : 8;
+
+  std::printf("%8s | %12s %12s | %12s %12s | %12s %12s\n", "threads",
+              "hl_lifo_us", "hl_lilo_us", "uni_lifo_us", "uni_lilo_us",
+              "1node_lifo", "1node_lilo");
+  for (unsigned n = 2; n <= 16; ++n) {
+    const BarrierCost hl =
+        barrier_cost(2, n, rt::Placement::kHighLocality, trials);
+    const BarrierCost un = barrier_cost(2, n, rt::Placement::kUniform, trials);
+    if (n <= 8) {
+      const BarrierCost one =
+          barrier_cost(1, n, rt::Placement::kHighLocality, trials);
+      std::printf("%8u | %12.2f %12.2f | %12.2f %12.2f | %12.2f %12.2f\n", n,
+                  hl.lifo_us, hl.lilo_us, un.lifo_us, un.lilo_us, one.lifo_us,
+                  one.lilo_us);
+    } else {
+      std::printf("%8u | %12.2f %12.2f | %12.2f %12.2f | %12s %12s\n", n,
+                  hl.lifo_us, hl.lilo_us, un.lifo_us, un.lilo_us, "-", "-");
+    }
+  }
+
+  const BarrierCost one8 =
+      barrier_cost(1, 8, rt::Placement::kHighLocality, trials);
+  const BarrierCost hl16 =
+      barrier_cost(2, 16, rt::Placement::kHighLocality, trials);
+  const BarrierCost one2 =
+      barrier_cost(1, 2, rt::Placement::kHighLocality, trials);
+  std::printf("\nderived metrics                          measured   paper\n");
+  std::printf("one-node last-in/first-out (us)          %8.2f   ~3.5\n",
+              one8.lifo_us);
+  std::printf("two-node extra lifo cost (us)            %8.2f   ~1\n",
+              hl16.lifo_us - one8.lifo_us);
+  std::printf("one-node release slope (us/thread)       %8.2f   ~2\n",
+              (one8.lilo_us - one2.lilo_us) / 6.0);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the paper-reproduction bench harness.
+//
+// Every bench binary regenerates one table or figure from the paper,
+// printing the same rows/series with a `paper=` column carrying the
+// published value where one exists.  `--full` switches from CI-sized runs to
+// the paper's actual problem sizes (documented per bench).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace spp::bench {
+
+struct Options {
+  bool full = false;  ///< run the paper's actual sizes (slow).
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) o.full = true;
+    }
+    return o;
+  }
+};
+
+inline void header(const char* id, const char* title, const Options& opts) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("scale: %s (use --full for the paper's problem sizes)\n",
+              opts.full ? "FULL (paper)" : "default (reduced)");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace spp::bench

@@ -1,0 +1,84 @@
+// Host-side microbenchmarks (google-benchmark): throughput of the
+// simulator's hot paths.  These measure SIMULATOR cost (how fast the model
+// executes on the host), not simulated time -- useful when sizing paper-scale
+// runs and checking that protocol changes don't regress the inner loop.
+#include <benchmark/benchmark.h>
+
+#include "spp/arch/machine.h"
+#include "spp/fft/fft.h"
+#include "spp/sim/rng.h"
+
+namespace {
+
+using namespace spp;
+using arch::kLineBytes;
+
+void BM_AccessHit(benchmark::State& state) {
+  arch::Machine m(arch::Topology{.nodes = 2});
+  const arch::VAddr va =
+      m.vm().allocate(arch::kPageBytes, arch::MemClass::kNearShared, "x", 0);
+  sim::Time t = m.access(0, va, false, 0);
+  for (auto _ : state) {
+    t = m.access(0, va, false, t);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_AccessHit);
+
+void BM_AccessMissLocal(benchmark::State& state) {
+  arch::Machine m(arch::Topology{.nodes = 2});
+  const std::uint64_t bytes = 8u << 20;
+  const arch::VAddr va =
+      m.vm().allocate(bytes, arch::MemClass::kNearShared, "x", 0);
+  sim::Time t = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    t = m.access(0, va + (i % (bytes / kLineBytes)) * kLineBytes, false, t);
+    i += 97;  // defeat residency
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_AccessMissLocal);
+
+void BM_AccessMissRemote(benchmark::State& state) {
+  arch::Machine m(arch::Topology{.nodes = 4});
+  const std::uint64_t bytes = 8u << 20;
+  const arch::VAddr va =
+      m.vm().allocate(bytes, arch::MemClass::kNearShared, "x", 2);
+  sim::Time t = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    t = m.access(0, va + (i % (bytes / kLineBytes)) * kLineBytes, false, t);
+    i += 97;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_AccessMissRemote);
+
+void BM_Translate(benchmark::State& state) {
+  arch::Machine m(arch::Topology{.nodes = 16});
+  arch::VAddr va = 0;
+  for (int r = 0; r < 16; ++r) {
+    va = m.vm().allocate(1u << 20, arch::MemClass::kFarShared, "r");
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.vm().translate(va + (i++ % 1024) * 1024, 3));
+  }
+}
+BENCHMARK(BM_Translate);
+
+void BM_Fft1K(benchmark::State& state) {
+  std::vector<fft::Complex> v(1024);
+  sim::Rng rng(5);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    fft::transform(v.data(), v.size(), 1, -1);
+    benchmark::DoNotOptimize(v[1]);
+  }
+}
+BENCHMARK(BM_Fft1K);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// A 2D blast wave on an unstructured triangular mesh with the FEM gas
+// dynamics code (section 5.2), showing the three classes of global
+// communication the paper describes and the Morton-ordering optimization.
+//
+//   $ ./build/examples/fem_blast
+#include <cstdio>
+
+#include "spp/apps/fem/femgas.h"
+
+using namespace spp;
+
+int main() {
+  fem::FemConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 48;
+  cfg.steps = 12;
+
+  std::printf("FEM blast wave, %ux%u quad mesh -> ", cfg.nx, cfg.ny);
+  {
+    const fem::Mesh probe = fem::make_periodic_tri_mesh(cfg.nx, cfg.ny);
+    std::printf("%zu points, %zu elements "
+                "(avg %.1f elements/point, max %d)\n",
+                probe.num_points(), probe.num_elements(),
+                probe.average_point_degree(), probe.max_point_degree());
+  }
+
+  // Run with and without Morton ordering to show the paper's cache
+  // optimization at work.
+  for (const bool morton : {false, true}) {
+    cfg.morton = morton;
+    rt::Runtime runtime(arch::Topology{.nodes = 2});
+    fem::FemGas app(runtime, cfg, 16, rt::Placement::kUniform);
+    app.init_blast(4.0, 6.0);
+    fem::FemResult res;
+    runtime.run([&] { res = app.run(); });
+    const auto tot = runtime.machine().perf().total();
+    std::printf("\n%s ordering:\n", morton ? "Morton" : "row-major");
+    std::printf("  %.4f point updates/us, %.1f useful Mflop/s\n",
+                res.updates_per_usec, res.mflops);
+    std::printf("  cache hit rate %.2f%%, %llu remote misses\n",
+                100.0 * tot.l1_hits / tot.accesses(),
+                static_cast<unsigned long long>(tot.miss_remote));
+    std::printf("  conservation: mass drift %.2e, energy drift %.2e\n",
+                res.final.total_mass / res.initial.total_mass - 1.0,
+                res.final.total_energy / res.initial.total_energy - 1.0);
+    std::printf("  positivity: min rho %.4f, min p %.4f\n",
+                res.final.min_density, res.final.min_pressure);
+  }
+
+  std::printf("\n(paper, section 5.2.1: \"Morton ordering was performed on\n"
+              " the points and elements to enhance cache locality for the\n"
+              " gathers and scatters.\")\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Profiling a parallel computation with the CXpa-style instrumentation
+// (section 6: performance tools "exposed at least coarse grained imbalances
+// in execution across the parallel resources" and made code tuning fast).
+//
+//   $ ./build/examples/profiled_stencil
+//
+// Runs a two-phase Jacobi stencil with a deliberately imbalanced variant,
+// prints the phase table (spot the imbalance), and the machine memory map.
+#include <cstdio>
+
+#include "spp/prof/profiler.h"
+#include "spp/rt/garray.h"
+#include "spp/rt/runtime.h"
+#include "spp/rt/sync.h"
+
+using namespace spp;
+
+namespace {
+
+void run_variant(bool balanced) {
+  constexpr std::size_t kN = 1 << 14;
+  constexpr unsigned kThreads = 8;
+  rt::Runtime runtime(arch::Topology{.nodes = 2});
+  prof::Profiler prof(runtime, kThreads);
+  rt::GlobalArray<double> a(runtime, kN, arch::MemClass::kFarShared, "a");
+  rt::GlobalArray<double> b(runtime, kN, arch::MemClass::kFarShared, "b");
+  for (std::size_t i = 0; i < kN; ++i) a.raw(i) = (i % 17) * 0.25;
+
+  runtime.run([&] {
+    rt::Barrier barrier(runtime, kThreads);
+    runtime.parallel(kThreads, rt::Placement::kUniform,
+                     [&](unsigned tid, unsigned nt) {
+      // Balanced: equal slices.  Imbalanced: thread 0 gets half the domain
+      // (the classic mistake CXpa-style profiling catches immediately).
+      std::size_t lo, hi;
+      if (balanced || tid > 0) {
+        const std::size_t rest = balanced ? kN : kN / 2;
+        const std::size_t base = balanced ? 0 : kN / 2;
+        const unsigned workers = balanced ? nt : nt - 1;
+        const unsigned wid = balanced ? tid : tid - 1;
+        lo = base + wid * rest / workers;
+        hi = base + (wid + 1) * rest / workers;
+      } else {
+        lo = 0;
+        hi = kN / 2;
+      }
+
+      for (int sweep = 0; sweep < 3; ++sweep) {
+        {
+          prof::Profiler::Scope s(prof, tid, "smooth");
+          for (std::size_t i = lo; i < hi; ++i) {
+            const double left = a.read(i == 0 ? kN - 1 : i - 1);
+            const double right = a.read(i + 1 == kN ? 0 : i + 1);
+            b.write(i, 0.5 * a.read(i) + 0.25 * (left + right));
+            runtime.work_flops(4);
+          }
+        }
+        {
+          prof::Profiler::Scope s(prof, tid, "copy_back");
+          for (std::size_t i = lo; i < hi; ++i) {
+            a.write(i, b.read(i));
+          }
+        }
+        barrier.wait();
+      }
+    });
+  });
+
+  std::printf("\n=== %s decomposition ===\n",
+              balanced ? "balanced" : "imbalanced");
+  prof.report();
+  std::printf("wall (simulated): %.3f ms\n",
+              sim::to_seconds(runtime.elapsed()) * 1e3);
+  if (balanced) {
+    std::printf("\nmemory map:\n");
+    prof.memory_map();
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_variant(/*balanced=*/true);
+  run_variant(/*balanced=*/false);
+  std::printf(
+      "\nthe 'imbal' column (max thread time / mean) flags the bad\n"
+      "decomposition at a glance -- the coarse-grained imbalance view the\n"
+      "paper credits CXpa with providing.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Sod shock tube with the PPM hydrodynamics code, compared against the
+// analytic Riemann solution (the standard validation for PROMETHEUS-class
+// codes, section 5.4).
+//
+//   $ ./build/examples/shock_tube
+//
+// Prints an ASCII density profile with the exact solution overlaid and the
+// L1 error.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "spp/apps/ppm/ppm.h"
+#include "spp/apps/ppm/riemann.h"
+
+using namespace spp;
+
+int main() {
+  ppm::PpmConfig cfg;
+  cfg.nx = 256;
+  cfg.ny = 8;
+  cfg.tiles_x = 4;
+  cfg.tiles_y = 1;
+  cfg.bc = ppm::Boundary::kOutflow;
+  cfg.steps = 60;
+  cfg.cfl = 0.4;
+
+  rt::Runtime runtime(arch::Topology{.nodes = 1});
+  ppm::PpmTiled app(runtime, cfg, 8, rt::Placement::kHighLocality);
+  app.init_sod_x();
+
+  std::printf("Sod shock tube: %zux%zu grid, %u tiles, 8 CPUs, %u steps\n",
+              cfg.nx, cfg.ny, cfg.tiles(), cfg.steps);
+  ppm::PpmResult res;
+  runtime.run([&] { res = app.run(); });
+
+  // Find the best-fit evolution time by matching the exact solution.
+  const ppm::State left{1.0, 0.0, 1.0};
+  const ppm::State right{0.125, 0.0, 0.1};
+  double best_err = 1e300, best_t = 0;
+  for (double t = 10.0; t <= 80.0; t += 0.25) {
+    double err = 0;
+    for (std::size_t i = 8; i < cfg.nx - 8; ++i) {
+      const double x =
+          (static_cast<double>(i) + 0.5) - static_cast<double>(cfg.nx) / 2;
+      err += std::abs(app.zone(i, 4)[0] -
+                      ppm::exact_sample(left, right, 1.4, x / t).rho);
+    }
+    err /= static_cast<double>(cfg.nx - 16);
+    if (err < best_err) {
+      best_err = err;
+      best_t = t;
+    }
+  }
+
+  // ASCII profile: '*' = computed, '-' = exact.
+  std::printf("\ndensity profile (computed * vs exact -):\n");
+  for (int row = 10; row >= 0; --row) {
+    const double level = 0.1 + row * 0.09;
+    std::printf("%5.2f |", level);
+    for (std::size_t i = 0; i < cfg.nx; i += 4) {
+      const double x =
+          (static_cast<double>(i) + 0.5) - static_cast<double>(cfg.nx) / 2;
+      const double sim_rho = app.zone(i, 4)[0];
+      const double exact_rho =
+          ppm::exact_sample(left, right, 1.4, x / best_t).rho;
+      const bool s = std::abs(sim_rho - level) < 0.045;
+      const bool e = std::abs(exact_rho - level) < 0.045;
+      std::printf("%c", s ? '*' : (e ? '-' : ' '));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nL1 density error vs exact solution: %.4f (t=%.1f)\n",
+              best_err, best_t);
+  std::printf("conservation: mass %.2e, energy %.2e (relative drift)\n",
+              res.final.mass / res.initial.mass - 1.0,
+              res.final.energy / res.initial.energy - 1.0);
+  std::printf("simulated time %.2f ms at %.1f Mflop/s on 8 CPUs\n",
+              sim::to_seconds(res.sim_time) * 1e3, res.mflops);
+  return 0;
+}

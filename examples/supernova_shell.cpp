@@ -1,0 +1,72 @@
+// Multifluid blast: "ejecta" expanding into an "ambient" medium, tracked
+// with PROMETHEUS-style multifluid advection (the paper's PPM code was built
+// for exactly this kind of problem: supernova explosions [3, 20] and nova
+// outbursts [25], with "the capability of following an arbitrary number of
+// different fluids").
+//
+//   $ ./build/examples/supernova_shell
+#include <algorithm>
+#include <cstdio>
+
+#include "spp/apps/ppm/ppm.h"
+
+using namespace spp;
+
+int main() {
+  ppm::PpmConfig cfg;
+  cfg.nx = 96;
+  cfg.ny = 96;
+  cfg.tiles_x = 4;
+  cfg.tiles_y = 4;
+  cfg.nspecies = 2;  // species 0 = ejecta, species 1 = ambient
+  cfg.steps = 24;
+  cfg.cfl = 0.35;
+  cfg.bc = ppm::Boundary::kOutflow;
+
+  rt::Runtime runtime(arch::Topology{.nodes = 2});
+  ppm::PpmTiled app(runtime, cfg, 16, rt::Placement::kUniform);
+
+  // Hot dense core (the ejecta) in a cold ambient medium, then tag.
+  app.init_blast(25.0, 8.0);
+  app.tag_two_fluids();  // splits at x = nx/2; we want a radial tag instead:
+  // overwrite the tag radially through the public zone data is not exposed,
+  // so use the left/right tag as a contact diagnostic across the blast.
+
+  std::printf("supernova-style blast: %zux%zu zones, %u tiles, 2 fluids, "
+              "16 CPUs / 2 hypernodes\n\n", cfg.nx, cfg.ny, cfg.tiles());
+
+  const double ejecta0 = app.species_mass(0);
+  ppm::PpmResult res;
+  runtime.run([&] { res = app.run(); });
+
+  // Radial density profile through the midplane.
+  std::printf("density along the midplane (y = %zu):\n", cfg.ny / 2);
+  for (int row = 6; row >= 0; --row) {
+    const double level = 0.2 + row * 0.25;
+    std::printf("%5.2f |", level);
+    for (std::size_t i = 0; i < cfg.nx; i += 2) {
+      const double rho = app.zone(i, cfg.ny / 2)[0];
+      std::printf("%c", std::abs(rho - level) < 0.125 ? '*' : ' ');
+    }
+    std::printf("\n");
+  }
+
+  // Mixing diagnostic: how far did ejecta cross the initial contact?
+  double mixed = 0;
+  for (std::size_t j = 0; j < cfg.ny; j += 3) {
+    for (std::size_t i = cfg.nx / 2; i < cfg.nx; i += 3) {
+      const double f = app.species(i, j, 0) / std::max(app.zone(i, j)[0], 1e-12);
+      mixed = std::max(mixed, f);
+    }
+  }
+
+  std::printf("\nejecta mass: %.4f -> %.4f (consistent advection)\n",
+              ejecta0, app.species_mass(0));
+  std::printf("max ejecta fraction beyond the initial contact: %.3f\n",
+              mixed);
+  std::printf("positivity: min rho %.4f, min p %.4f\n", res.final.min_rho,
+              res.final.min_p);
+  std::printf("simulated %.2f ms at %.1f Mflop/s\n",
+              sim::to_seconds(res.sim_time) * 1e3, res.mflops);
+  return 0;
+}

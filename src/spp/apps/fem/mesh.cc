@@ -1,0 +1,172 @@
+#include "spp/apps/fem/mesh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace spp::fem {
+
+std::uint32_t morton2(std::uint32_t ix, std::uint32_t iy) {
+  auto spread = [](std::uint32_t v) {
+    v &= 0xFFFF;
+    v = (v | (v << 8)) & 0x00FF00FF;
+    v = (v | (v << 4)) & 0x0F0F0F0F;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(ix) | (spread(iy) << 1);
+}
+
+std::int32_t Mesh::max_point_degree() const {
+  std::int32_t best = 0;
+  for (std::size_t p = 0; p + 1 < p2e_off.size(); ++p) {
+    best = std::max(best, p2e_off[p + 1] - p2e_off[p]);
+  }
+  return best;
+}
+
+double Mesh::average_point_degree() const {
+  if (num_points() == 0) return 0;
+  return static_cast<double>(p2e.size()) / static_cast<double>(num_points());
+}
+
+void Mesh::finalize() {
+  const std::size_t np = num_points();
+  const std::size_t ne = num_elements();
+  if (area.size() != ne || bx.size() != ne || by.size() != ne) {
+    throw std::logic_error("mesh: geometry must be set before finalize()");
+  }
+
+  // Point -> element adjacency (CSR).
+  p2e_off.assign(np + 1, 0);
+  for (const auto& t : tri) {
+    for (const std::int32_t p : t) ++p2e_off[p + 1];
+  }
+  std::partial_sum(p2e_off.begin(), p2e_off.end(), p2e_off.begin());
+  p2e.assign(p2e_off.back(), -1);
+  std::vector<std::int32_t> cursor(p2e_off.begin(), p2e_off.end() - 1);
+  for (std::size_t e = 0; e < ne; ++e) {
+    for (const std::int32_t p : tri[e]) {
+      p2e[cursor[p]++] = static_cast<std::int32_t>(e);
+    }
+  }
+
+  // Lumped mass: one third of each incident element's area.
+  lumped_mass.assign(np, 0.0);
+  for (std::size_t e = 0; e < ne; ++e) {
+    for (const std::int32_t p : tri[e]) {
+      lumped_mass[p] += area[e] / 3.0;
+    }
+  }
+}
+
+Mesh make_periodic_tri_mesh(std::uint32_t nx, std::uint32_t ny,
+                            bool morton_order) {
+  assert(nx >= 2 && ny >= 2);
+  Mesh m;
+  const std::size_t np = static_cast<std::size_t>(nx) * ny;
+  m.x.resize(np);
+  m.y.resize(np);
+  auto pid = [&](std::uint32_t i, std::uint32_t j) {
+    return static_cast<std::int32_t>((j % ny) * nx + (i % nx));
+  };
+  for (std::uint32_t j = 0; j < ny; ++j) {
+    for (std::uint32_t i = 0; i < nx; ++i) {
+      m.x[pid(i, j)] = static_cast<double>(i);
+      m.y[pid(i, j)] = static_cast<double>(j);
+    }
+  }
+
+  // Two triangles per quad; geometry computed from UNWRAPPED corner
+  // coordinates so boundary-crossing elements keep positive area.
+  const std::size_t ne = 2 * static_cast<std::size_t>(nx) * ny;
+  m.tri.reserve(ne);
+  m.area.reserve(ne);
+  m.bx.reserve(ne);
+  m.by.reserve(ne);
+  auto add_tri = [&](std::int32_t p1, std::int32_t p2, std::int32_t p3,
+                     double x1, double y1, double x2, double y2, double x3,
+                     double y3) {
+    const double twoA = (x2 - x1) * (y3 - y1) - (x3 - x1) * (y2 - y1);
+    assert(twoA > 0);
+    m.tri.push_back({p1, p2, p3});
+    m.area.push_back(0.5 * twoA);
+    m.bx.push_back({(y2 - y3) / twoA, (y3 - y1) / twoA, (y1 - y2) / twoA});
+    m.by.push_back({(x3 - x2) / twoA, (x1 - x3) / twoA, (x2 - x1) / twoA});
+  };
+  for (std::uint32_t j = 0; j < ny; ++j) {
+    for (std::uint32_t i = 0; i < nx; ++i) {
+      const double x0 = i, y0 = j, x1 = i + 1.0, y1 = j + 1.0;
+      // Lower-left triangle and upper-right triangle.
+      add_tri(pid(i, j), pid(i + 1, j), pid(i, j + 1),  //
+              x0, y0, x1, y0, x0, y1);
+      add_tri(pid(i + 1, j), pid(i + 1, j + 1), pid(i, j + 1),  //
+              x1, y0, x1, y1, x0, y1);
+    }
+  }
+
+  if (morton_order) {
+    // Renumber points by the Morton key of their lattice coordinates.
+    std::vector<std::int32_t> pperm(np);  // old -> position sorted
+    std::vector<std::int32_t> order(np);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+      const auto ka = morton2(static_cast<std::uint32_t>(m.x[a]),
+                              static_cast<std::uint32_t>(m.y[a]));
+      const auto kb = morton2(static_cast<std::uint32_t>(m.x[b]),
+                              static_cast<std::uint32_t>(m.y[b]));
+      return ka != kb ? ka < kb : a < b;
+    });
+    std::vector<std::int32_t> old2new(np);
+    for (std::size_t k = 0; k < np; ++k) old2new[order[k]] = static_cast<std::int32_t>(k);
+    std::vector<double> nxs(np), nys(np);
+    for (std::size_t p = 0; p < np; ++p) {
+      nxs[old2new[p]] = m.x[p];
+      nys[old2new[p]] = m.y[p];
+    }
+    m.x = std::move(nxs);
+    m.y = std::move(nys);
+    for (auto& t : m.tri) {
+      for (auto& p : t) p = old2new[p];
+    }
+    (void)pperm;
+
+    // Renumber elements by the Morton key of their centroid cell.
+    std::vector<std::int32_t> eorder(m.tri.size());
+    std::iota(eorder.begin(), eorder.end(), 0);
+    auto ekey = [&](std::int32_t e) {
+      // Centroid from the element's point coordinates (wrapped is fine for a
+      // locality key).
+      const auto& t = m.tri[e];
+      const double cx = (m.x[t[0]] + m.x[t[1]] + m.x[t[2]]) / 3.0;
+      const double cy = (m.y[t[0]] + m.y[t[1]] + m.y[t[2]]) / 3.0;
+      return morton2(static_cast<std::uint32_t>(cx),
+                     static_cast<std::uint32_t>(cy));
+    };
+    std::sort(eorder.begin(), eorder.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const auto ka = ekey(a), kb = ekey(b);
+                return ka != kb ? ka < kb : a < b;
+              });
+    std::vector<std::array<std::int32_t, 3>> ntri(m.tri.size());
+    std::vector<double> narea(m.tri.size());
+    std::vector<std::array<double, 3>> nbx(m.tri.size()), nby(m.tri.size());
+    for (std::size_t k = 0; k < eorder.size(); ++k) {
+      ntri[k] = m.tri[eorder[k]];
+      narea[k] = m.area[eorder[k]];
+      nbx[k] = m.bx[eorder[k]];
+      nby[k] = m.by[eorder[k]];
+    }
+    m.tri = std::move(ntri);
+    m.area = std::move(narea);
+    m.bx = std::move(nbx);
+    m.by = std::move(nby);
+  }
+
+  m.finalize();
+  return m;
+}
+
+}  // namespace spp::fem

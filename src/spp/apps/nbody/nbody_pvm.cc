@@ -1,0 +1,356 @@
+#include "spp/apps/nbody/nbody_pvm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <vector>
+
+#include "spp/rt/garray.h"
+#include "spp/sim/rng.h"
+
+namespace spp::nbody {
+
+namespace {
+
+constexpr int kTagGather = 40;
+constexpr int kTagTree = 41;
+constexpr int kTagDiag = 42;
+constexpr double kInteractFlops = 22;
+constexpr double kNodeVisitFlops = 8;
+constexpr double kPushFlops = 18;
+
+std::pair<std::size_t, std::size_t> split(std::size_t n, unsigned parts,
+                                          unsigned p) {
+  const std::size_t base = n / parts, rem = n % parts;
+  const std::size_t begin = p * base + std::min<std::size_t>(p, rem);
+  return {begin, begin + base + (p < rem ? 1 : 0)};
+}
+
+/// Host-side oct-tree over replicated coordinates (task-private data).
+struct HostTree {
+  std::vector<TreeNode> nodes;
+  std::vector<std::int32_t> order;
+
+  void build(const std::vector<double>& x, const std::vector<double>& y,
+             const std::vector<double>& z, const std::vector<double>& m,
+             unsigned leaf_capacity) {
+    const std::size_t n = x.size();
+    nodes.clear();
+    nodes.reserve(2 * n + 64);
+    order.resize(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::int32_t>(i);
+
+    double lo = x[0], hi = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      lo = std::min({lo, x[i], y[i], z[i]});
+      hi = std::max({hi, x[i], y[i], z[i]});
+    }
+    const double half = 0.5 * (hi - lo) + 1e-9;
+    const double c = 0.5 * (hi + lo);
+
+    std::function<std::int32_t(std::size_t, std::size_t, double, double,
+                               double, double, int)>
+        rec = [&](std::size_t first, std::size_t count, double cx, double cy,
+                  double cz, double h, int depth) -> std::int32_t {
+      const auto me = static_cast<std::int32_t>(nodes.size());
+      nodes.emplace_back();
+      nodes[me].cx = cx;
+      nodes[me].cy = cy;
+      nodes[me].cz = cz;
+      nodes[me].half = h;
+      if (count <= leaf_capacity || depth > 48) {
+        nodes[me].first = static_cast<std::int32_t>(first);
+        nodes[me].count = static_cast<std::int32_t>(count);
+      } else {
+        nodes[me].count = -1;
+        auto oct = [&](std::int32_t p) {
+          return (x[p] >= cx ? 1 : 0) | (y[p] >= cy ? 2 : 0) |
+                 (z[p] >= cz ? 4 : 0);
+        };
+        std::array<std::size_t, 9> start{};
+        {
+          std::array<std::size_t, 8> cnt{};
+          for (std::size_t k = first; k < first + count; ++k) {
+            ++cnt[oct(order[k])];
+          }
+          start[0] = first;
+          for (int o = 0; o < 8; ++o) start[o + 1] = start[o] + cnt[o];
+          std::array<std::size_t, 8> cur;
+          for (int o = 0; o < 8; ++o) cur[o] = start[o];
+          std::vector<std::int32_t> tmp(order.begin() + first,
+                                        order.begin() + first + count);
+          for (const std::int32_t p : tmp) order[cur[oct(p)]++] = p;
+        }
+        const double q = h / 2;
+        for (int o = 0; o < 8; ++o) {
+          const std::size_t cc = start[o + 1] - start[o];
+          if (cc == 0) continue;
+          const std::int32_t child =
+              rec(start[o], cc, cx + ((o & 1) ? q : -q),
+                  cy + ((o & 2) ? q : -q), cz + ((o & 4) ? q : -q), q,
+                  depth + 1);
+          nodes[me].child[o] = child;
+        }
+      }
+      // Moments.
+      TreeNode& nd = nodes[me];
+      nd.mass = 0;
+      nd.mx = nd.my = nd.mz = 0;
+      if (nd.count >= 0) {
+        for (std::int32_t k = nd.first; k < nd.first + nd.count; ++k) {
+          const std::int32_t p = order[k];
+          nd.mass += m[p];
+          nd.mx += m[p] * x[p];
+          nd.my += m[p] * y[p];
+          nd.mz += m[p] * z[p];
+        }
+      } else {
+        for (int o = 0; o < 8; ++o) {
+          if (nd.child[o] < 0) continue;
+          const TreeNode& ch = nodes[nd.child[o]];
+          nd.mass += ch.mass;
+          nd.mx += ch.mass * ch.mx;
+          nd.my += ch.mass * ch.my;
+          nd.mz += ch.mass * ch.mz;
+        }
+      }
+      if (nd.mass > 0) {
+        nd.mx /= nd.mass;
+        nd.my /= nd.mass;
+        nd.mz /= nd.mass;
+      }
+      return me;
+    };
+    rec(0, n, c, c, c, half, 0);
+  }
+};
+
+}  // namespace
+
+NbodyPvm::NbodyPvm(rt::Runtime& rt, const NbodyConfig& cfg, unsigned ntasks,
+                   rt::Placement placement)
+    : rt_(rt), cfg_(cfg), ntasks_(ntasks), placement_(placement) {}
+
+NbodyResult NbodyPvm::run() {
+  NbodyResult res;
+  rt_.machine().reset_stats();
+  const std::size_t n = cfg_.n;
+  const sim::Time t0 = rt_.now();
+
+  // Deterministic Plummer load, identical to NbodyShared's.
+  std::vector<double> gx(n), gy(n), gz(n), gvx(n), gvy(n), gvz(n), gm(n);
+  {
+    sim::Rng rng(cfg_.seed);
+    double mvx = 0, mvy = 0, mvz = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double r;
+      do {
+        const double u = std::max(rng.next_double(), 1e-10);
+        r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+      } while (r > 8.0);
+      const double ct = rng.uniform(-1, 1);
+      const double st = std::sqrt(std::max(0.0, 1 - ct * ct));
+      const double phi = rng.uniform(0, 2 * std::numbers::pi);
+      gx[i] = r * st * std::cos(phi);
+      gy[i] = r * st * std::sin(phi);
+      gz[i] = r * ct;
+      const double sigma = std::sqrt(1.0 / (6.0 * std::sqrt(1.0 + r * r)));
+      gvx[i] = rng.gaussian(0, sigma);
+      gvy[i] = rng.gaussian(0, sigma);
+      gvz[i] = rng.gaussian(0, sigma);
+      mvx += gvx[i];
+      mvy += gvy[i];
+      mvz += gvz[i];
+      gm[i] = 1.0 / static_cast<double>(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      gvx[i] -= mvx / static_cast<double>(n);
+      gvy[i] -= mvy / static_cast<double>(n);
+      gvz[i] -= mvz / static_cast<double>(n);
+    }
+  }
+
+  pvm::Pvm vm(rt_);
+  std::uint64_t interactions = 0;
+  double fin_kin = 0, fin_px = 0, fin_py = 0, fin_pz = 0;
+
+  vm.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
+    rt::Runtime& rt = vm.runtime();
+    const auto [pb, pe] = split(n, ntasks, static_cast<unsigned>(me));
+    const std::size_t mine = pe - pb;
+    const unsigned my_node = rt.topo().node_of_cpu(rt.cpu());
+
+    // Task-private state (charged against a node-local window).
+    std::vector<double> x(gx.begin() + pb, gx.begin() + pe);
+    std::vector<double> y(gy.begin() + pb, gy.begin() + pe);
+    std::vector<double> z(gz.begin() + pb, gz.begin() + pe);
+    std::vector<double> vx(gvx.begin() + pb, gvx.begin() + pe);
+    std::vector<double> vy(gvy.begin() + pb, gvy.begin() + pe);
+    std::vector<double> vz(gvz.begin() + pb, gvz.begin() + pe);
+    std::vector<double> mass(gm.begin() + pb, gm.begin() + pe);
+    rt::GlobalArray<double> tree_window(
+        rt, (2 * n + 64) * 6, arch::MemClass::kNearShared, "nbpvm.tree",
+        my_node);
+
+    std::vector<double> ax(n), ay(n), az(n), am(n);  // replicated coords
+    HostTree tree;
+
+    for (unsigned step = 0; step < cfg_.steps; ++step) {
+      // ---- gather all positions on task 0 --------------------------------
+      if (me == 0) {
+        std::copy(x.begin(), x.end(), ax.begin());
+        std::copy(y.begin(), y.end(), ay.begin());
+        std::copy(z.begin(), z.end(), az.begin());
+        std::copy(mass.begin(), mass.end(), am.begin());
+        for (int t = 1; t < ntasks; ++t) {
+          pvm::Message m = vm.recv(-1, kTagGather);
+          const auto [tb, te] = split(n, ntasks, static_cast<unsigned>(m.sender));
+          m.unpack(&ax[tb], te - tb);
+          m.unpack(&ay[tb], te - tb);
+          m.unpack(&az[tb], te - tb);
+          m.unpack(&am[tb], te - tb);
+        }
+        // Build the tree (flops + node writes charged).
+        tree.build(ax, ay, az, am, cfg_.leaf_capacity);
+        rt.work_flops(10.0 * static_cast<double>(n) *
+                      std::log2(std::max<double>(2.0, double(n))));
+        tree_window.touch_range(0, tree.nodes.size() * 6, true);
+
+        // ---- broadcast tree + coordinates -------------------------------
+        for (int t = 1; t < ntasks; ++t) {
+          pvm::Message m;
+          const auto nn = static_cast<std::int64_t>(tree.nodes.size());
+          m.pack(&nn, 1);
+          m.pack(reinterpret_cast<const double*>(tree.nodes.data()),
+                 tree.nodes.size() * sizeof(TreeNode) / sizeof(double));
+          m.pack(tree.order.data(), tree.order.size());
+          m.pack(ax.data(), n);
+          m.pack(ay.data(), n);
+          m.pack(az.data(), n);
+          m.pack(am.data(), n);
+          vm.send(t, kTagTree, std::move(m));
+        }
+      } else {
+        pvm::Message m;
+        m.pack(x.data(), mine);
+        m.pack(y.data(), mine);
+        m.pack(z.data(), mine);
+        m.pack(mass.data(), mine);
+        vm.send(0, kTagGather, std::move(m));
+
+        pvm::Message t = vm.recv(0, kTagTree);
+        std::int64_t nn = 0;
+        t.unpack(&nn, 1);
+        tree.nodes.resize(static_cast<std::size_t>(nn));
+        t.unpack(reinterpret_cast<double*>(tree.nodes.data()),
+                 tree.nodes.size() * sizeof(TreeNode) / sizeof(double));
+        tree.order.resize(n);
+        t.unpack(tree.order.data(), n);
+        t.unpack(ax.data(), n);
+        t.unpack(ay.data(), n);
+        t.unpack(az.data(), n);
+        t.unpack(am.data(), n);
+      }
+
+      // ---- force + push on the private slice ------------------------------
+      const double eps2 = cfg_.eps * cfg_.eps;
+      const double th2 = cfg_.theta * cfg_.theta;
+      for (std::size_t q = 0; q < mine; ++q) {
+        const double xi = x[q], yi = y[q], zi = z[q];
+        double fx = 0, fy = 0, fz = 0;
+        std::int32_t stack[512];
+        int top = 0;
+        stack[top++] = 0;
+        while (top > 0) {
+          const TreeNode& nd = tree.nodes[stack[--top]];
+          rt.read(tree_window.vaddr(
+                      (static_cast<std::size_t>(&nd - tree.nodes.data())) * 6),
+                  48);
+          rt.work_flops(kNodeVisitFlops);
+          const double dx = nd.mx - xi, dy = nd.my - yi, dz = nd.mz - zi;
+          const double d2 = dx * dx + dy * dy + dz * dz;
+          const double size = 2 * nd.half;
+          if (nd.count < 0 && size * size > th2 * d2) {
+            for (int o = 0; o < 8; ++o) {
+              if (nd.child[o] >= 0) stack[top++] = nd.child[o];
+            }
+            continue;
+          }
+          if (nd.count < 0) {
+            const double r2 = d2 + eps2;
+            const double inv = 1.0 / (r2 * std::sqrt(r2));
+            fx += nd.mass * dx * inv;
+            fy += nd.mass * dy * inv;
+            fz += nd.mass * dz * inv;
+            rt.work_flops(kInteractFlops);
+            ++interactions;
+            continue;
+          }
+          for (std::int32_t k = nd.first; k < nd.first + nd.count; ++k) {
+            const auto p = static_cast<std::size_t>(tree.order[k]);
+            if (p == pb + q) continue;
+            const double ddx = ax[p] - xi, ddy = ay[p] - yi, ddz = az[p] - zi;
+            const double r2 = ddx * ddx + ddy * ddy + ddz * ddz + eps2;
+            const double inv = 1.0 / (r2 * std::sqrt(r2));
+            fx += am[p] * ddx * inv;
+            fy += am[p] * ddy * inv;
+            fz += am[p] * ddz * inv;
+            rt.work_flops(kInteractFlops);
+            ++interactions;
+          }
+        }
+        vx[q] += cfg_.dt * fx;
+        vy[q] += cfg_.dt * fy;
+        vz[q] += cfg_.dt * fz;
+        x[q] += cfg_.dt * vx[q];
+        y[q] += cfg_.dt * vy[q];
+        z[q] += cfg_.dt * vz[q];
+        rt.work_flops(kPushFlops);
+      }
+    }
+
+    // ---- diagnostics to task 0 --------------------------------------------
+    double local[4] = {0, 0, 0, 0};
+    for (std::size_t q = 0; q < mine; ++q) {
+      local[0] += 0.5 * mass[q] *
+                  (vx[q] * vx[q] + vy[q] * vy[q] + vz[q] * vz[q]);
+      local[1] += mass[q] * vx[q];
+      local[2] += mass[q] * vy[q];
+      local[3] += mass[q] * vz[q];
+    }
+    if (me == 0) {
+      fin_kin = local[0];
+      fin_px = local[1];
+      fin_py = local[2];
+      fin_pz = local[3];
+      for (int t = 1; t < ntasks; ++t) {
+        pvm::Message m = vm.recv(-1, kTagDiag);
+        double other[4];
+        m.unpack(other, 4);
+        fin_kin += other[0];
+        fin_px += other[1];
+        fin_py += other[2];
+        fin_pz += other[3];
+      }
+    } else {
+      pvm::Message m;
+      m.pack(local, 4);
+      vm.send(0, kTagDiag, std::move(m));
+    }
+  });
+
+  res.sim_time = rt_.now() - t0;
+  const auto total = rt_.machine().perf().total();
+  res.flops = total.flops;
+  res.mflops = res.flops / (sim::to_seconds(res.sim_time) * 1e6);
+  res.interactions = interactions;
+  res.final.kinetic = fin_kin;
+  res.final.px = fin_px;
+  res.final.py = fin_py;
+  res.final.pz = fin_pz;
+  res.final.mass = 1.0;
+  return res;
+}
+
+}  // namespace spp::nbody

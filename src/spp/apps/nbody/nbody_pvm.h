@@ -1,0 +1,39 @@
+// PVM (message-passing) version of the gravitational tree code, following
+// the Olson & Packer structure the paper describes in section 5.3.2:
+//
+//   "A message passing version of this code has also been developed using
+//    the PVM library ... The single processor performance of the code was
+//    quite good ... The overheads of packing and sending messages, however,
+//    are prohibitive and overall performance is degraded relative to the
+//    shared memory version of the code."
+//
+// Replicated-tree organization: each task owns a particle slice; per step
+// the slices' positions are gathered to task 0, which builds the oct-tree
+// and broadcasts it (with the particle coordinates) to every task; tasks
+// then compute forces for their own slices against their private tree copy
+// and push.  The tree+particle broadcast is the prohibitive packing traffic:
+// every unpack streams the whole structure through the receiver's cache at
+// per-line rates.
+#pragma once
+
+#include "spp/apps/nbody/nbody.h"
+#include "spp/pvm/pvm.h"
+
+namespace spp::nbody {
+
+class NbodyPvm {
+ public:
+  NbodyPvm(rt::Runtime& rt, const NbodyConfig& cfg, unsigned ntasks,
+           rt::Placement placement);
+
+  /// Loads the same deterministic Plummer sphere as NbodyShared.
+  NbodyResult run();
+
+ private:
+  rt::Runtime& rt_;
+  NbodyConfig cfg_;
+  unsigned ntasks_;
+  rt::Placement placement_;
+};
+
+}  // namespace spp::nbody

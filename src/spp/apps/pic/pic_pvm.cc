@@ -1,0 +1,319 @@
+#include "spp/apps/pic/pic_pvm.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "spp/fft/fft.h"
+#include "spp/rt/garray.h"
+
+namespace spp::pic {
+
+namespace {
+
+constexpr int kTagRho = 100;
+constexpr int kTagField = 200;
+constexpr int kTagDiag = 300;
+
+constexpr double kDepositFlops = 33;
+constexpr double kPushFlops = 70;
+constexpr double kFieldFlopsPerCell = 16;
+
+std::pair<std::size_t, std::size_t> split(std::size_t n, unsigned parts,
+                                          unsigned p) {
+  const std::size_t base = n / parts, rem = n % parts;
+  const std::size_t begin = p * base + std::min<std::size_t>(p, rem);
+  return {begin, begin + base + (p < rem ? 1 : 0)};
+}
+
+/// One task's private state: real storage plus a charged NearShared window
+/// over the mesh-sized arrays (particles dominate traffic; we charge both).
+struct TaskState {
+  std::vector<double> px, py, pz, vx, vy, vz;
+  std::vector<double> rho, ex, ey, ez;
+  std::unique_ptr<rt::GlobalArray<double>> mesh_window;   ///< 4 mesh arrays.
+  std::unique_ptr<rt::GlobalArray<double>> part_window;   ///< 6 particle arrays.
+};
+
+}  // namespace
+
+PicPvm::PicPvm(rt::Runtime& rt, const PicConfig& cfg, unsigned ntasks,
+               rt::Placement placement)
+    : rt_(rt), cfg_(cfg), ntasks_(ntasks), placement_(placement) {}
+
+PicResult PicPvm::run() {
+  PicResult res;
+  rt_.machine().reset_stats();
+  const sim::Time t0 = rt_.now();
+  const std::size_t nc = cfg_.cells();
+  const std::size_t np = cfg_.particles();
+  const std::size_t nx = cfg_.nx, ny = cfg_.ny, nz = cfg_.nz;
+
+  pvm::Pvm vm(rt_);
+  double final_kinetic = 0, final_momentum = 0, final_field = 0,
+         final_charge = 0;
+  std::vector<double> field_history;
+
+  vm.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
+    rt::Runtime& rt = vm.runtime();
+    const auto [pb, pe] = split(np, ntasks, static_cast<unsigned>(me));
+    const std::size_t my_np = pe - pb;
+    const unsigned my_node = rt.topo().node_of_cpu(rt.cpu());
+
+    TaskState st;
+    st.px.resize(my_np);
+    st.py.resize(my_np);
+    st.pz.resize(my_np);
+    st.vx.resize(my_np);
+    st.vy.resize(my_np);
+    st.vz.resize(my_np);
+    st.rho.assign(nc, 0.0);
+    st.ex.assign(nc, 0.0);
+    st.ey.assign(nc, 0.0);
+    st.ez.assign(nc, 0.0);
+    st.mesh_window = std::make_unique<rt::GlobalArray<double>>(
+        rt, 4 * nc, arch::MemClass::kNearShared, "picpvm.mesh", my_node);
+    st.part_window = std::make_unique<rt::GlobalArray<double>>(
+        rt, 6 * my_np, arch::MemClass::kNearShared, "picpvm.part", my_node);
+
+    // Deterministic global particle load, identical to PicShared: generate
+    // the full stream and keep our slice.
+    {
+      sim::Rng rng(cfg_.seed);
+      std::size_t p = 0;
+      for (std::size_t iz = 0; iz < nz; ++iz) {
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+          for (std::size_t ix = 0; ix < nx; ++ix) {
+            for (unsigned k = 0; k < cfg_.plasma_per_cell + cfg_.beam_per_cell;
+                 ++k, ++p) {
+              const bool beam = k >= cfg_.plasma_per_cell;
+              const double x = static_cast<double>(ix) + rng.next_double();
+              const double y = static_cast<double>(iy) + rng.next_double();
+              const double z = static_cast<double>(iz) + rng.next_double();
+              double vxp, vyp, vzp;
+              if (beam) {
+                vxp = vyp = 0;
+                vzp = cfg_.beam_velocity * cfg_.vth;
+              } else {
+                vxp = rng.gaussian(0, cfg_.vth);
+                vyp = rng.gaussian(0, cfg_.vth);
+                vzp = rng.gaussian(0, cfg_.vth);
+              }
+              if (p >= pb && p < pe) {
+                const std::size_t q = p - pb;
+                st.px[q] = x;
+                st.py[q] = y;
+                st.pz[q] = z;
+                st.vx[q] = vxp;
+                st.vy[q] = vyp;
+                st.vz[q] = vzp;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    auto cell_index = [&](std::size_t ix, std::size_t iy, std::size_t iz) {
+      return (iz * ny + iy) * nx + ix;
+    };
+
+    for (unsigned step = 0; step < cfg_.steps; ++step) {
+      // ----- deposit on the private mesh -----------------------------------
+      std::fill(st.rho.begin(), st.rho.end(), 0.0);
+      st.mesh_window->touch_range(0, nc, true);
+      for (std::size_t q = 0; q < my_np; ++q) {
+        const double x = st.px[q], y = st.py[q], z = st.pz[q];
+        // SoA particle record, like the shared-memory coding: one read per
+        // coordinate component array.
+        rt.read(st.part_window->vaddr(0 * my_np + q));
+        rt.read(st.part_window->vaddr(1 * my_np + q));
+        rt.read(st.part_window->vaddr(2 * my_np + q));
+        const auto ix = static_cast<std::size_t>(x);
+        const auto iy = static_cast<std::size_t>(y);
+        const auto iz = static_cast<std::size_t>(z);
+        const double fx = x - std::floor(x), fy = y - std::floor(y),
+                     fz = z - std::floor(z);
+        const std::size_t ix1 = (ix + 1) % nx, iy1 = (iy + 1) % ny,
+                          iz1 = (iz + 1) % nz;
+        const double wx[2] = {1 - fx, fx}, wy[2] = {1 - fy, fy},
+                     wz[2] = {1 - fz, fz};
+        const std::size_t cx[2] = {ix, ix1}, cy[2] = {iy, iy1},
+                          cz[2] = {iz, iz1};
+        for (int a = 0; a < 2; ++a)
+          for (int b = 0; b < 2; ++b)
+            for (int c = 0; c < 2; ++c) {
+              const std::size_t idx = cell_index(cx[a], cy[b], cz[c]);
+              st.rho[idx] -= wx[a] * wy[b] * wz[c];
+              rt.read(st.mesh_window->vaddr(idx));
+              rt.write(st.mesh_window->vaddr(idx));
+            }
+        rt.work_flops(kDepositFlops);
+      }
+
+      // ----- combine on task 0, solve, broadcast E --------------------------
+      if (me == 0) {
+        for (int t = 1; t < ntasks; ++t) {
+          pvm::Message m = vm.recv(-1, kTagRho);
+          std::vector<double> other(nc);
+          m.unpack(other.data(), nc);
+          for (std::size_t c = 0; c < nc; ++c) st.rho[c] += other[c];
+          rt.work_flops(static_cast<double>(nc));
+        }
+        // Neutralizing background.
+        const double bg =
+            static_cast<double>(cfg_.plasma_per_cell + cfg_.beam_per_cell);
+        for (std::size_t c = 0; c < nc; ++c) st.rho[c] += bg;
+
+        // Serial FFT Poisson solve on task 0 (the PVM version has no shared
+        // field solver; this is one of its structural handicaps).
+        std::vector<fft::Complex> work(nc);
+        for (std::size_t c = 0; c < nc; ++c) work[c] = {st.rho[c], 0.0};
+        st.mesh_window->touch_range(0, nc, false);
+        fft::transform_3d(work.data(), nx, ny, nz, -1);
+        rt.work_flops(fft::flops_3d(nx, ny, nz));
+        for (std::size_t c = 0; c < nc; ++c) {
+          const std::size_t x = c % nx, y = (c / nx) % ny, z = c / (nx * ny);
+          const double sx = std::sin(std::numbers::pi * double(x) / double(nx));
+          const double sy = std::sin(std::numbers::pi * double(y) / double(ny));
+          const double sz = std::sin(std::numbers::pi * double(z) / double(nz));
+          const double k2 = 4.0 * (sx * sx + sy * sy + sz * sz);
+          work[c] = (k2 > 0) ? work[c] / k2 : fft::Complex(0, 0);
+        }
+        rt.work_flops(kFieldFlopsPerCell * 0.5 * static_cast<double>(nc));
+        fft::transform_3d(work.data(), nx, ny, nz, +1);
+        rt.work_flops(fft::flops_3d(nx, ny, nz));
+
+        for (std::size_t c = 0; c < nc; ++c) {
+          const std::size_t x = c % nx, y = (c / nx) % ny, z = c / (nx * ny);
+          const std::size_t xm = (x + nx - 1) % nx, xp = (x + 1) % nx;
+          const std::size_t ym = (y + ny - 1) % ny, yp = (y + 1) % ny;
+          const std::size_t zm = (z + nz - 1) % nz, zp = (z + 1) % nz;
+          st.ex[c] = -0.5 * (work[cell_index(xp, y, z)].real() -
+                             work[cell_index(xm, y, z)].real());
+          st.ey[c] = -0.5 * (work[cell_index(x, yp, z)].real() -
+                             work[cell_index(x, ym, z)].real());
+          st.ez[c] = -0.5 * (work[cell_index(x, y, zp)].real() -
+                             work[cell_index(x, y, zm)].real());
+        }
+        rt.work_flops(kFieldFlopsPerCell * 0.5 * static_cast<double>(nc));
+        st.mesh_window->touch_range(nc, 3 * nc, true);
+
+        for (int t = 1; t < ntasks; ++t) {
+          pvm::Message m;
+          m.pack(st.ex.data(), nc);
+          m.pack(st.ey.data(), nc);
+          m.pack(st.ez.data(), nc);
+          vm.send(t, kTagField, std::move(m));
+        }
+      } else {
+        pvm::Message m;
+        m.pack(st.rho.data(), nc);
+        vm.send(0, kTagRho, std::move(m));
+        pvm::Message f = vm.recv(0, kTagField);
+        f.unpack(st.ex.data(), nc);
+        f.unpack(st.ey.data(), nc);
+        f.unpack(st.ez.data(), nc);
+        st.mesh_window->touch_range(nc, 3 * nc, true);
+      }
+
+      // ----- gather + push on private particles ------------------------------
+      const double dt = cfg_.dt;
+      const double lx = double(nx), ly = double(ny), lz = double(nz);
+      for (std::size_t q = 0; q < my_np; ++q) {
+        const double x = st.px[q], y = st.py[q], z = st.pz[q];
+        const auto ix = static_cast<std::size_t>(x);
+        const auto iy = static_cast<std::size_t>(y);
+        const auto iz = static_cast<std::size_t>(z);
+        const double fx = x - std::floor(x), fy = y - std::floor(y),
+                     fz = z - std::floor(z);
+        const std::size_t ix1 = (ix + 1) % nx, iy1 = (iy + 1) % ny,
+                          iz1 = (iz + 1) % nz;
+        const double wx[2] = {1 - fx, fx}, wy[2] = {1 - fy, fy},
+                     wz[2] = {1 - fz, fz};
+        const std::size_t cx[2] = {ix, ix1}, cy[2] = {iy, iy1},
+                          cz[2] = {iz, iz1};
+        double e[3] = {0, 0, 0};
+        for (int a = 0; a < 2; ++a)
+          for (int b = 0; b < 2; ++b)
+            for (int c = 0; c < 2; ++c) {
+              const double w = wx[a] * wy[b] * wz[c];
+              const std::size_t idx = cell_index(cx[a], cy[b], cz[c]);
+              e[0] += w * st.ex[idx];
+              e[1] += w * st.ey[idx];
+              e[2] += w * st.ez[idx];
+              rt.read(st.mesh_window->vaddr(nc + idx));
+              rt.read(st.mesh_window->vaddr(2 * nc + idx));
+              rt.read(st.mesh_window->vaddr(3 * nc + idx));
+            }
+        st.vx[q] += dt * -1.0 * e[0];
+        st.vy[q] += dt * -1.0 * e[1];
+        st.vz[q] += dt * -1.0 * e[2];
+        double nxp = x + dt * st.vx[q], nyp = y + dt * st.vy[q],
+               nzp = z + dt * st.vz[q];
+        nxp -= lx * std::floor(nxp / lx);
+        nyp -= ly * std::floor(nyp / ly);
+        nzp -= lz * std::floor(nzp / lz);
+        if (nxp >= lx) nxp = 0;
+        if (nyp >= ly) nyp = 0;
+        if (nzp >= lz) nzp = 0;
+        st.px[q] = nxp;
+        st.py[q] = nyp;
+        st.pz[q] = nzp;
+        for (int c = 0; c < 3; ++c) {
+          rt.read(st.part_window->vaddr((3 + c) * my_np + q));   // velocity
+          rt.write(st.part_window->vaddr((3 + c) * my_np + q));
+          rt.write(st.part_window->vaddr(c * my_np + q));        // position
+        }
+        rt.work_flops(kPushFlops);
+      }
+
+      // ----- diagnostics gathered to task 0 ---------------------------------
+      double local[3] = {0, 0, 0};  // kinetic, momentum_z, (unused)
+      for (std::size_t q = 0; q < my_np; ++q) {
+        local[0] += 0.5 * (st.vx[q] * st.vx[q] + st.vy[q] * st.vy[q] +
+                           st.vz[q] * st.vz[q]);
+        local[1] += st.vz[q];
+      }
+      if (me == 0) {
+        double kin = local[0], mom = local[1];
+        for (int t = 1; t < ntasks; ++t) {
+          pvm::Message m = vm.recv(-1, kTagDiag);
+          double other[2];
+          m.unpack(other, 2);
+          kin += other[0];
+          mom += other[1];
+        }
+        double fld = 0, chg = 0;
+        for (std::size_t c = 0; c < nc; ++c) {
+          fld += 0.5 * (st.ex[c] * st.ex[c] + st.ey[c] * st.ey[c] +
+                        st.ez[c] * st.ez[c]);
+          chg += st.rho[c];
+        }
+        field_history.push_back(fld);
+        if (step == 0) {
+          res.initial = {kin, fld, chg, mom};
+        }
+        if (step + 1 == cfg_.steps) {
+          final_kinetic = kin;
+          final_momentum = mom;
+          final_field = fld;
+          final_charge = chg;
+        }
+      } else {
+        pvm::Message m;
+        m.pack(local, 2);
+        vm.send(0, kTagDiag, std::move(m));
+      }
+    }
+  });
+
+  res.sim_time = rt_.now() - t0;
+  const auto total = rt_.machine().perf().total();
+  res.flops = total.flops;
+  res.mflops = res.flops / (sim::to_seconds(res.sim_time) * 1e6);
+  res.final = {final_kinetic, final_field, final_charge, final_momentum};
+  res.field_energy_history = field_history;
+  return res;
+}
+
+}  // namespace spp::pic

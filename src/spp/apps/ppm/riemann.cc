@@ -1,0 +1,204 @@
+#include "spp/apps/ppm/riemann.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spp::ppm {
+
+namespace {
+
+double sound_speed(const State& s, double gamma) {
+  return std::sqrt(gamma * s.p / s.rho);
+}
+
+/// Two-shock wave "mass flux" W(p*) and its derivative for one side.
+void shock_w(const State& s, double pstar, double gamma, double& w,
+             double& dw) {
+  // W = sqrt(rho * ((g+1)/2 p* + (g-1)/2 p))
+  const double a = 0.5 * (gamma + 1.0);
+  const double b = 0.5 * (gamma - 1.0);
+  const double arg = s.rho * (a * pstar + b * s.p);
+  w = std::sqrt(std::max(arg, 1e-300));
+  dw = 0.5 * s.rho * a / w;
+}
+
+/// Toro's f-function for the exact solver (shock or rarefaction branch).
+double exact_f(const State& s, double pstar, double gamma, double& df) {
+  const double c = sound_speed(s, gamma);
+  if (pstar > s.p) {
+    // Shock.
+    const double ak = 2.0 / ((gamma + 1.0) * s.rho);
+    const double bk = (gamma - 1.0) / (gamma + 1.0) * s.p;
+    const double root = std::sqrt(ak / (pstar + bk));
+    df = root * (1.0 - 0.5 * (pstar - s.p) / (pstar + bk));
+    return (pstar - s.p) * root;
+  }
+  // Rarefaction.
+  const double ex = 0.5 * (gamma - 1.0) / gamma;
+  const double pr = pstar / s.p;
+  df = std::pow(pr, -0.5 * (gamma + 1.0) / gamma) / (s.rho * c);
+  return 2.0 * c / (gamma - 1.0) * (std::pow(pr, ex) - 1.0);
+}
+
+}  // namespace
+
+StarState two_shock_star(const State& left, const State& right,
+                         double gamma) {
+  // Initial guess: acoustic (linearized) star pressure.
+  const double cl = sound_speed(left, gamma);
+  const double cr = sound_speed(right, gamma);
+  double pstar = std::max(
+      1e-12, 0.5 * (left.p + right.p) -
+                 0.125 * (right.u - left.u) * (left.rho + right.rho) *
+                     (cl + cr));
+  StarState out{pstar, 0.0, 0};
+  for (int it = 0; it < 30; ++it) {
+    double wl, dwl, wr, dwr;
+    shock_w(left, pstar, gamma, wl, dwl);
+    shock_w(right, pstar, gamma, wr, dwr);
+    // u* from each side must match:
+    //   u*_L = uL - (p* - pL)/WL,  u*_R = uR + (p* - pR)/WR
+    const double f = (pstar - left.p) / wl + (pstar - right.p) / wr -
+                     (left.u - right.u);
+    const double df = (wl - (pstar - left.p) * dwl) / (wl * wl) +
+                      (wr - (pstar - right.p) * dwr) / (wr * wr);
+    const double step = f / std::max(df, 1e-300);
+    pstar = std::max(1e-12, pstar - step);
+    out.iterations = it + 1;
+    if (std::abs(step) < 1e-12 * (pstar + 1e-12)) break;
+  }
+  double wl, dwl, wr, dwr;
+  shock_w(left, pstar, gamma, wl, dwl);
+  shock_w(right, pstar, gamma, wr, dwr);
+  out.p = pstar;
+  out.u = 0.5 * (left.u - (pstar - left.p) / wl + right.u +
+                 (pstar - right.p) / wr);
+  return out;
+}
+
+StarState exact_star(const State& left, const State& right, double gamma) {
+  double pstar = two_shock_star(left, right, gamma).p;  // good initial guess
+  StarState out{pstar, 0.0, 0};
+  for (int it = 0; it < 60; ++it) {
+    double dfl, dfr;
+    const double fl = exact_f(left, pstar, gamma, dfl);
+    const double fr = exact_f(right, pstar, gamma, dfr);
+    const double f = fl + fr + (right.u - left.u);
+    const double step = f / std::max(dfl + dfr, 1e-300);
+    pstar = std::max(1e-12, pstar - step);
+    out.iterations = it + 1;
+    if (std::abs(step) < 1e-14 * (pstar + 1e-14)) break;
+  }
+  double dfl, dfr;
+  const double fl = exact_f(left, pstar, gamma, dfl);
+  const double fr = exact_f(right, pstar, gamma, dfr);
+  out.p = pstar;
+  out.u = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
+  return out;
+}
+
+State exact_sample(const State& left, const State& right, double gamma,
+                   double s) {
+  const StarState st = exact_star(left, right, gamma);
+  const double g1 = (gamma - 1.0) / (gamma + 1.0);
+
+  if (s <= st.u) {
+    // Left of the contact.
+    const double cl = sound_speed(left, gamma);
+    if (st.p > left.p) {
+      // Left shock.
+      const double sl =
+          left.u - cl * std::sqrt(0.5 * (gamma + 1.0) / gamma * st.p / left.p +
+                                  0.5 * (gamma - 1.0) / gamma);
+      if (s <= sl) return left;
+      const double rho =
+          left.rho * ((st.p / left.p + g1) / (g1 * st.p / left.p + 1.0));
+      return {rho, st.u, st.p};
+    }
+    // Left rarefaction.
+    const double cstar = cl * std::pow(st.p / left.p,
+                                       0.5 * (gamma - 1.0) / gamma);
+    const double head = left.u - cl;
+    const double tail = st.u - cstar;
+    if (s <= head) return left;
+    if (s >= tail) {
+      const double rho = left.rho * std::pow(st.p / left.p, 1.0 / gamma);
+      return {rho, st.u, st.p};
+    }
+    // Inside the fan.
+    const double c = g1 * (left.u - s) + (1.0 - g1) * cl;
+    const double u = s + c;
+    const double rho = left.rho * std::pow(c / cl, 2.0 / (gamma - 1.0));
+    const double p = left.p * std::pow(c / cl, 2.0 * gamma / (gamma - 1.0));
+    return {rho, u, p};
+  }
+
+  // Right of the contact (mirror).
+  const double cr = sound_speed(right, gamma);
+  if (st.p > right.p) {
+    const double sr =
+        right.u + cr * std::sqrt(0.5 * (gamma + 1.0) / gamma * st.p / right.p +
+                                 0.5 * (gamma - 1.0) / gamma);
+    if (s >= sr) return right;
+    const double rho =
+        right.rho * ((st.p / right.p + g1) / (g1 * st.p / right.p + 1.0));
+    return {rho, st.u, st.p};
+  }
+  const double cstar =
+      cr * std::pow(st.p / right.p, 0.5 * (gamma - 1.0) / gamma);
+  const double head = right.u + cr;
+  const double tail = st.u + cstar;
+  if (s >= head) return right;
+  if (s <= tail) {
+    const double rho = right.rho * std::pow(st.p / right.p, 1.0 / gamma);
+    return {rho, st.u, st.p};
+  }
+  const double c = g1 * (s - right.u) + (1.0 - g1) * cr;
+  const double u = s - c;
+  const double rho = right.rho * std::pow(c / cr, 2.0 / (gamma - 1.0));
+  const double p = right.p * std::pow(c / cr, 2.0 * gamma / (gamma - 1.0));
+  return {rho, u, p};
+}
+
+std::array<double, 4> godunov_flux(const State& left, const State& right,
+                                   double vt_left, double vt_right,
+                                   double gamma) {
+  const StarState st = two_shock_star(left, right, gamma);
+
+  // Sample the two-shock fan at x/t = 0.
+  State w;   // state at the interface
+  double vt; // transverse velocity advected with the contact
+  if (st.u >= 0) {
+    vt = vt_left;
+    const double wl =
+        std::sqrt(left.rho * (0.5 * (gamma + 1.0) * st.p +
+                              0.5 * (gamma - 1.0) * left.p));
+    const double sl = left.u - wl / left.rho;  // left shock speed
+    if (sl >= 0) {
+      w = left;
+    } else {
+      const double rho = 1.0 / (1.0 / left.rho - (st.p - left.p) / (wl * wl));
+      w = {rho, st.u, st.p};
+    }
+  } else {
+    vt = vt_right;
+    const double wr =
+        std::sqrt(right.rho * (0.5 * (gamma + 1.0) * st.p +
+                               0.5 * (gamma - 1.0) * right.p));
+    const double sr = right.u + wr / right.rho;
+    if (sr <= 0) {
+      w = right;
+    } else {
+      const double rho =
+          1.0 / (1.0 / right.rho - (st.p - right.p) / (wr * wr));
+      w = {rho, st.u, st.p};
+    }
+  }
+
+  const double e =
+      w.p / (gamma - 1.0) + 0.5 * w.rho * (w.u * w.u + vt * vt);
+  return {w.rho * w.u, w.rho * w.u * w.u + w.p, w.rho * w.u * vt,
+          (e + w.p) * w.u};
+}
+
+}  // namespace spp::ppm

@@ -1,0 +1,46 @@
+// Riemann solvers for the PPM hydrodynamics code (section 5.4).
+//
+// PROMETHEUS uses the two-shock approximate Riemann solver of the original
+// PPM papers [Colella & Woodward 1984]; we implement it with Newton
+// iteration on the star-state pressure, plus the exact solver (with
+// rarefactions) used by the tests and the shock-tube example to validate
+// results against the analytic Sod solution.
+#pragma once
+
+#include <array>
+
+namespace spp::ppm {
+
+/// Primitive hydrodynamic state (1D normal direction).
+struct State {
+  double rho;  ///< density
+  double u;    ///< normal velocity
+  double p;    ///< pressure
+};
+
+/// Star-region solution of a Riemann problem.
+struct StarState {
+  double p;       ///< star pressure
+  double u;       ///< star velocity
+  int iterations; ///< Newton iterations used
+};
+
+/// Two-shock approximate solver (both nonlinear waves treated as shocks).
+StarState two_shock_star(const State& left, const State& right, double gamma);
+
+/// Exact star state (shock or rarefaction per side; Toro's algorithm).
+StarState exact_star(const State& left, const State& right, double gamma);
+
+/// Godunov flux at x/t = 0 from the two-shock star state: samples the wave
+/// fan and returns the flux of (rho, rho*u, rho*v_t, E), where `vt_left` /
+/// `vt_right` are passively advected transverse velocities.
+std::array<double, 4> godunov_flux(const State& left, const State& right,
+                                   double vt_left, double vt_right,
+                                   double gamma);
+
+/// Exact solution sampled at speed s = x/t (for test comparisons).
+/// Returns primitive (rho, u, p) with transverse velocity ignored.
+State exact_sample(const State& left, const State& right, double gamma,
+                   double s);
+
+}  // namespace spp::ppm

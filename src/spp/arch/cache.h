@@ -1,0 +1,99 @@
+// Per-CPU data cache model: 1 MB, direct-mapped, 32-byte lines (PA-7100
+// external cache, section 2.2).  This is a pure state container — all
+// protocol decisions and latency accounting live in spp::arch::Machine.
+//
+// The instruction cache is not modeled: section 2.6 states the caches sustain
+// one data access and one instruction fetch per cycle, so instruction fetch
+// never appears on the latency paths the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "spp/arch/address.h"
+
+namespace spp::arch {
+
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,  ///< sole clean copy: a write upgrades to Modified for free.
+  kModified,
+};
+
+/// Direct-mapped cache of physical line addresses.
+class L1Cache {
+ public:
+  struct Entry {
+    LineAddr line = kNoLine;
+    LineState state = LineState::kInvalid;
+  };
+
+  static constexpr LineAddr kNoLine = std::numeric_limits<LineAddr>::max();
+
+  explicit L1Cache(std::uint64_t bytes = 1ull << 20, unsigned num_fus = 1)
+      : sets_(bytes / kLineBytes), num_fus_(num_fus), entries_(sets_) {}
+
+  std::uint64_t sets() const { return sets_; }
+
+  std::uint64_t set_of(LineAddr line) const {
+    return compact_line(line, num_fus_) % sets_;
+  }
+
+  /// The direct-mapped slot a line would occupy (may currently hold another
+  /// line, or be invalid).
+  Entry& slot(LineAddr line) { return entries_[set_of(line)]; }
+  const Entry& slot(LineAddr line) const { return entries_[set_of(line)]; }
+
+  /// Direct access to a set's entry by set index (flush/introspection).
+  Entry& entry_at(std::uint64_t set) { return entries_[set]; }
+
+  /// True if `line` is present with at least Shared permission.
+  bool present(LineAddr line) const {
+    const Entry& e = slot(line);
+    return e.line == line && e.state != LineState::kInvalid;
+  }
+
+  LineState state_of(LineAddr line) const {
+    const Entry& e = slot(line);
+    return e.line == line ? e.state : LineState::kInvalid;
+  }
+
+  /// Installs a line (caller has already handled the previous occupant).
+  void install(LineAddr line, LineState state) {
+    Entry& e = slot(line);
+    e.line = line;
+    e.state = state;
+  }
+
+  /// Drops `line` if present (invalidation).  Returns true if it was present.
+  bool invalidate(LineAddr line) {
+    Entry& e = slot(line);
+    if (e.line != line || e.state == LineState::kInvalid) return false;
+    e.state = LineState::kInvalid;
+    e.line = kNoLine;
+    return true;
+  }
+
+  /// Downgrades `line` to Shared if present in Modified or Exclusive.
+  void downgrade(LineAddr line) {
+    Entry& e = slot(line);
+    if (e.line == line && (e.state == LineState::kModified ||
+                           e.state == LineState::kExclusive)) {
+      e.state = LineState::kShared;
+    }
+  }
+
+  /// Invalidates everything (thread teardown / tests).
+  void clear() {
+    for (auto& e : entries_) e = Entry{};
+  }
+
+ private:
+  std::uint64_t sets_;
+  unsigned num_fus_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace spp::arch

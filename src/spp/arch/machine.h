@@ -1,0 +1,153 @@
+// The SPP-1000 machine model: CPUs, L1 caches, functional-unit memory banks,
+// hypernode crossbars and directories, global cache buffers, and the SCI
+// ring fabric, composed into a single memory-transaction engine.
+//
+// Machine::access() is the simulator's inner loop: given (cpu, virtual
+// address, read/write, local time) it walks the two-level coherence protocol
+// -- L1 -> hypernode directory -> SCI -- updating all sharing state and
+// charging latency against the contended hardware resources on the path.
+// The caller (the spp::rt conductor) guarantees calls are serialized and
+// arrive in approximately nondecreasing time order.
+//
+// Thread safety: NONE by design; see DESIGN.md section 5.1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "spp/arch/address.h"
+#include "spp/arch/cache.h"
+#include "spp/arch/cost_model.h"
+#include "spp/arch/perf.h"
+#include "spp/arch/topology.h"
+#include "spp/arch/vmem.h"
+#include "spp/sci/gcache.h"
+#include "spp/sci/ring.h"
+#include "spp/sim/resource.h"
+#include "spp/sim/time.h"
+
+namespace spp::arch {
+
+class Machine {
+ public:
+  explicit Machine(Topology topo, CostModel cm = CostModel{});
+
+  const Topology& topo() const { return topo_; }
+  const CostModel& cost() const { return cm_; }
+  VMem& vm() { return vm_; }
+  const VMem& vm() const { return vm_; }
+  PerfCounters& perf() { return perf_; }
+  const PerfCounters& perf() const { return perf_; }
+  sci::RingFabric& rings() { return rings_; }
+
+  /// One cached access from `cpu` at local time `now`; returns completion
+  /// time (>= now + 1 cycle).
+  sim::Time access(unsigned cpu, VAddr va, bool write, sim::Time now);
+
+  /// Sequential cached access to [va, va+bytes), charged line by line but
+  /// with at most one transaction per distinct line.
+  sim::Time access_block(unsigned cpu, VAddr va, std::uint64_t bytes,
+                         bool write, sim::Time now);
+
+  /// Uncached access (semaphore pages bypass the caches; section 4.2).
+  sim::Time access_uncached(unsigned cpu, VAddr va, bool write, sim::Time now);
+
+  /// Uncached atomic fetch-and-op (locks the home bank for the rmw window).
+  sim::Time atomic_rmw(unsigned cpu, VAddr va, sim::Time now);
+
+  /// Invalidates every line in `cpu`'s L1, with full directory bookkeeping
+  /// (used at thread teardown and by tests).
+  void flush_l1(unsigned cpu);
+
+  /// Drops all counters; protocol state is retained.
+  void reset_stats() { perf_.reset(); }
+
+  // --- introspection for tests ---------------------------------------------
+  LineState l1_state(unsigned cpu, VAddr va) const;
+  /// Number of distinct caches (L1 or gcache) holding the line of `va`,
+  /// translated as seen from cpu 0.
+  unsigned sharer_count(VAddr va) const;
+  /// True if protocol invariants hold for the line of `va`: a modified copy
+  /// excludes all other copies, and every L1 copy of a remote line is backed
+  /// by its node's gcache.
+  bool check_line_invariants(VAddr va) const;
+
+ private:
+  struct HomeEntry {
+    std::uint8_t cpu_sharers = 0;  ///< L1 sharers among the home node's CPUs.
+    int owner_cpu = -1;            ///< local CPU holding Modified, or -1.
+    bool remote_dirty = false;     ///< a remote node holds the only copy.
+    std::uint8_t owner_node = 0;   ///< valid when remote_dirty.
+    /// SCI sharing list: remote sharer nodes, head first.  Stored centrally
+    /// for simplicity; semantics match the distributed doubly-linked list.
+    std::vector<std::uint8_t> sci_list;
+
+    bool empty() const {
+      return cpu_sharers == 0 && owner_cpu < 0 && !remote_dirty &&
+             sci_list.empty();
+    }
+  };
+
+  /// Per-functional-unit contended resources.
+  struct FuState {
+    sim::Resource port;     ///< crossbar port.
+    sim::Resource dir;      ///< CCMC directory/coherence controller.
+    sim::Resource ring_if;  ///< SCI ring interface.
+    std::vector<sim::Resource> banks;
+  };
+
+  HomeEntry& home_entry(LineAddr line) { return directory_[line]; }
+  void maybe_erase(LineAddr line);
+
+  sim::Resource& bank_for(PAddr pa) {
+    FuState& fu = fus_[home_fu_of(pa)];
+    return fu.banks[line_of(pa) % cm_.banks_per_fu];
+  }
+  sci::GCache& gcache_for(unsigned node, unsigned ring) {
+    return gcaches_[node * kNumRings + ring];
+  }
+
+  sim::Time miss_fill(unsigned cpu, PAddr pa, bool write, sim::Time t);
+  sim::Time local_fill(unsigned cpu, PAddr pa, bool write, sim::Time t);
+  sim::Time remote_fill(unsigned cpu, PAddr pa, bool write, sim::Time t);
+  sim::Time local_upgrade(unsigned cpu, PAddr pa, sim::Time t);
+  sim::Time remote_upgrade(unsigned cpu, PAddr pa, sim::Time t);
+
+  /// Home-driven sequential SCI purge of all remote sharers except
+  /// `keep_node` (pass topo_.nodes to purge everyone).  Returns time after
+  /// the walk; clears purged nodes' gcache entries and L1 copies.
+  sim::Time purge_remote(LineAddr line, HomeEntry& e, unsigned keep_node,
+                         sim::Time t);
+
+  /// Recalls a remote-dirty line back to home memory.  `t` is at the home
+  /// directory.  Afterwards the line is clean at home with the former owner
+  /// keeping a Shared copy iff `owner_keeps_shared`.
+  sim::Time recall_remote_dirty(LineAddr line, HomeEntry& e,
+                                bool owner_keeps_shared, sim::Time t);
+
+  /// Invalidates every local-home-node L1 sharer except `keep_cpu`
+  /// (pass a huge value to invalidate all); returns updated time.
+  sim::Time invalidate_local(LineAddr line, HomeEntry& e, unsigned keep_cpu,
+                             sim::Time t);
+
+  void evict_l1_entry(unsigned cpu, L1Cache::Entry& entry, sim::Time now);
+  void evict_gcache_entry(unsigned node, unsigned ring, sci::GCache::Entry& ge,
+                          sim::Time now);
+  /// Invalidates the L1 copies a gcache entry backs (inclusion).
+  void invalidate_gcache_backed_l1(unsigned node,
+                                   const sci::GCache::Entry& ge);
+
+  Topology topo_;
+  CostModel cm_;
+  VMem vm_;
+  PerfCounters perf_;
+  sci::RingFabric rings_;
+  std::vector<L1Cache> l1_;
+  std::vector<FuState> fus_;
+  std::vector<sci::GCache> gcaches_;  ///< [node * 4 + ring]
+  std::unordered_map<LineAddr, HomeEntry> directory_;
+};
+
+}  // namespace spp::arch

@@ -1,0 +1,77 @@
+// Hardware-style performance counters.
+//
+// Section 6 praises the SPP-1000's "hardware supported instrumentation
+// including counters for cache miss enumeration and timing" (CXpa); this is
+// the simulator's equivalent, and the application benches report from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spp/sim/time.h"
+
+namespace spp::arch {
+
+struct CpuCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t upgrades = 0;        ///< write hits on Shared lines.
+  std::uint64_t miss_fu_local = 0;   ///< home is the accessor's own FU.
+  std::uint64_t miss_node = 0;       ///< home in another FU of the same node.
+  std::uint64_t miss_gcache = 0;     ///< satisfied by the node's gcache.
+  std::uint64_t miss_remote = 0;     ///< full SCI ring transaction.
+  std::uint64_t writebacks = 0;
+  std::uint64_t uncached_ops = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t invals_received = 0;
+  sim::Time mem_stall = 0;           ///< total ns spent beyond the 1-cycle hit.
+  sim::Time compute = 0;             ///< total ns of charged compute work.
+  double flops = 0;                  ///< charged floating point operations.
+
+  std::uint64_t accesses() const { return loads + stores; }
+  std::uint64_t misses() const {
+    return miss_fu_local + miss_node + miss_gcache + miss_remote;
+  }
+};
+
+struct PerfCounters {
+  explicit PerfCounters(unsigned num_cpus) : cpu(num_cpus) {}
+
+  std::vector<CpuCounters> cpu;
+  std::uint64_t ring_packets = 0;
+  std::uint64_t sci_purges = 0;        ///< write purge walks executed.
+  std::uint64_t sci_purge_targets = 0; ///< total sharers purged.
+  std::uint64_t invals_sent = 0;
+  std::uint64_t gcache_evictions = 0;
+  std::uint64_t l1_evictions = 0;
+
+  CpuCounters total() const {
+    CpuCounters t;
+    for (const auto& c : cpu) {
+      t.loads += c.loads;
+      t.stores += c.stores;
+      t.l1_hits += c.l1_hits;
+      t.upgrades += c.upgrades;
+      t.miss_fu_local += c.miss_fu_local;
+      t.miss_node += c.miss_node;
+      t.miss_gcache += c.miss_gcache;
+      t.miss_remote += c.miss_remote;
+      t.writebacks += c.writebacks;
+      t.uncached_ops += c.uncached_ops;
+      t.atomic_ops += c.atomic_ops;
+      t.invals_received += c.invals_received;
+      t.mem_stall += c.mem_stall;
+      t.compute += c.compute;
+      t.flops += c.flops;
+    }
+    return t;
+  }
+
+  void reset() {
+    const auto n = cpu.size();
+    *this = PerfCounters(static_cast<unsigned>(n));
+  }
+};
+
+}  // namespace spp::arch

@@ -1,0 +1,59 @@
+// Machine shape: hypernodes x functional units x CPUs, and the ring fabric.
+//
+// The SPP-1000 is fixed at 4 FUs per hypernode, 2 CPUs per FU, and 4 rings
+// (one per FU position, section 2.5: "within a hypernode, one ring network is
+// interfaced to one of the four functional units").  Only the hypernode count
+// scales (1..16 for 8..128 processors).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace spp::arch {
+
+inline constexpr unsigned kFusPerNode = 4;
+inline constexpr unsigned kCpusPerFu = 2;
+inline constexpr unsigned kCpusPerNode = kFusPerNode * kCpusPerFu;  // 8
+inline constexpr unsigned kNumRings = 4;
+inline constexpr unsigned kMaxNodes = 16;
+
+struct Topology {
+  unsigned nodes = 2;  ///< hypernode count, 1..16.
+
+  constexpr unsigned num_cpus() const { return nodes * kCpusPerNode; }
+  constexpr unsigned num_fus() const { return nodes * kFusPerNode; }
+
+  // --- CPU id decomposition (cpu = node*8 + fu_in_node*2 + k) ---------------
+  constexpr unsigned node_of_cpu(unsigned cpu) const {
+    return cpu / kCpusPerNode;
+  }
+  constexpr unsigned fu_in_node_of_cpu(unsigned cpu) const {
+    return (cpu % kCpusPerNode) / kCpusPerFu;
+  }
+  constexpr unsigned fu_of_cpu(unsigned cpu) const {
+    return node_of_cpu(cpu) * kFusPerNode + fu_in_node_of_cpu(cpu);
+  }
+  constexpr unsigned cpu_id(unsigned node, unsigned fu_in_node,
+                            unsigned k) const {
+    return node * kCpusPerNode + fu_in_node * kCpusPerFu + k;
+  }
+
+  // --- Functional unit decomposition ---------------------------------------
+  constexpr unsigned node_of_fu(unsigned fu) const { return fu / kFusPerNode; }
+  constexpr unsigned fu_in_node(unsigned fu) const { return fu % kFusPerNode; }
+  constexpr unsigned fu_id(unsigned node, unsigned fu_in_node) const {
+    return node * kFusPerNode + fu_in_node;
+  }
+
+  /// The ring a functional unit is attached to (its position in the node).
+  constexpr unsigned ring_of_fu(unsigned fu) const { return fu_in_node(fu); }
+
+  /// Ring hops from node `from` to node `to` (unidirectional rings).
+  constexpr unsigned ring_hops(unsigned from, unsigned to) const {
+    return (to + nodes - from) % nodes;
+  }
+
+  constexpr bool valid() const { return nodes >= 1 && nodes <= kMaxNodes; }
+};
+
+}  // namespace spp::arch

@@ -1,0 +1,61 @@
+#include "spp/c90/c90.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spp::c90 {
+
+double C90Model::sustained_mflops(const KernelProfile& p) const {
+  // Hockney n_half vector-length efficiency.
+  const double vl = std::max(p.avg_vector_length, 1.0);
+  const double length_eff = vl / (vl + n_half);
+  // Weighted slowdown: vector stride-1, gathered, and scalar portions.
+  const double vec_frac = 1.0 - p.scalar_fraction;
+  const double clean_frac = vec_frac * (1.0 - p.gather_fraction);
+  const double gath_frac = vec_frac * p.gather_fraction;
+  const double denom = clean_frac + gath_frac * gather_penalty +
+                       p.scalar_fraction * scalar_penalty;
+  return peak_mflops * vector_efficiency * length_eff / std::max(denom, 1e-9);
+}
+
+KernelProfile pic_profile(double flops, std::size_t mesh_cells) {
+  KernelProfile p;
+  p.flops = flops;
+  // Particle loops vectorize over long particle vectors; the FFT has shorter
+  // inner lengths tied to the mesh edge.
+  p.avg_vector_length = std::min(1000.0, std::cbrt(static_cast<double>(
+                                             mesh_cells)) * 16.0);
+  p.gather_fraction = 0.22;  // deposit/gather steps.
+  p.scalar_fraction = 0.004;
+  return p;
+}
+
+KernelProfile fem_profile(double flops) {
+  KernelProfile p;
+  p.flops = flops;
+  p.avg_vector_length = 450.0;  // long element/point loops.
+  p.gather_fraction = 0.30;     // unstructured gathers and scatter-add.
+  p.scalar_fraction = 0.004;
+  return p;
+}
+
+KernelProfile treecode_profile(double flops) {
+  KernelProfile p;
+  p.flops = flops;
+  // Hernquist-style vectorized traversal: moderate lengths, gather-heavy.
+  p.avg_vector_length = 100.0;
+  p.gather_fraction = 0.75;
+  p.scalar_fraction = 0.015;
+  return p;
+}
+
+KernelProfile ppm_profile(double flops) {
+  KernelProfile p;
+  p.flops = flops;
+  p.avg_vector_length = 400.0;  // stride-1 sweeps along grid pencils.
+  p.gather_fraction = 0.03;
+  p.scalar_fraction = 0.003;
+  return p;
+}
+
+}  // namespace spp::c90

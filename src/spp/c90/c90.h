@@ -1,0 +1,57 @@
+// Analytic Cray YMP-C90 single-head cost model.
+//
+// The paper uses one head of a C90 as a flat reference line (Table 1,
+// Figures 6-7, and the 120 Mflop/s tree-code quote in section 5.3.2).  We
+// never simulate the C90 at address granularity -- the paper treats it as a
+// fixed comparator -- so this model estimates sustained Mflop/s from a
+// kernel profile using classic vector-performance accounting:
+//
+//   time/result = startup amortization + chime time / vector efficiency
+//
+// with efficiency degraded by gather/scatter (indirect) access fraction and
+// short vector lengths (n_half model, Hockney).  Parameters are calibrated
+// once against the paper's published C90 rates:
+//   * PIC       (32^3):        355 Mflop/s
+//   * PIC       (64x64x32):    369 Mflop/s
+//   * FEM:                     ~250-293 Mflop/s (0.57 point-updates/us)
+//   * tree code (gather-heavy): ~120 Mflop/s
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spp::c90 {
+
+/// Description of a kernel's vector character.
+struct KernelProfile {
+  double flops = 0;              ///< total floating point operations.
+  double avg_vector_length = 64; ///< typical vectorized loop length.
+  double gather_fraction = 0.0;  ///< fraction of operands via gather/scatter.
+  double scalar_fraction = 0.0;  ///< fraction of work that does not vectorize.
+};
+
+/// Machine parameters for one C90 head.
+struct C90Model {
+  double peak_mflops = 952.0;     ///< 2 pipes x 2 flops x 238 MHz.
+  double n_half = 60.0;           ///< vector half-performance length.
+  double gather_penalty = 3.4;    ///< slowdown on gathered operands.
+  double scalar_penalty = 18.0;   ///< slowdown of non-vectorized work.
+  double vector_efficiency = 0.62;///< sustained/peak for clean stride-1 code.
+
+  /// Sustained Mflop/s for the profile.
+  double sustained_mflops(const KernelProfile& p) const;
+
+  /// Wall-clock seconds to execute the profile.
+  double seconds(const KernelProfile& p) const {
+    const double rate = sustained_mflops(p);
+    return rate > 0 ? p.flops / (rate * 1e6) : 0.0;
+  }
+};
+
+/// Paper-calibrated kernel profiles (see EXPERIMENTS.md for the mapping).
+KernelProfile pic_profile(double flops, std::size_t mesh_cells);
+KernelProfile fem_profile(double flops);
+KernelProfile treecode_profile(double flops);
+KernelProfile ppm_profile(double flops);
+
+}  // namespace spp::c90

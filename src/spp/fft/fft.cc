@@ -1,0 +1,108 @@
+#include "spp/fft/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace spp::fft {
+
+namespace {
+
+/// Bit-reversal permutation for strided data.
+void bit_reverse(Complex* data, std::size_t n, std::ptrdiff_t stride) {
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+    std::size_t mask = n >> 1;
+    while (mask != 0 && (j & mask)) {
+      j ^= mask;
+      mask >>= 1;
+    }
+    j |= mask;
+  }
+}
+
+}  // namespace
+
+void transform(Complex* data, std::size_t n, std::ptrdiff_t stride,
+               int sign) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft: length not a power of 2");
+  if (n == 1) return;
+  bit_reverse(data, n, stride);
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        static_cast<double>(sign) * 2.0 * std::numbers::pi /
+        static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex& a = data[(i + k) * stride];
+        Complex& b = data[(i + k + len / 2) * stride];
+        const Complex u = a;
+        const Complex v = b * w;
+        a = u + v;
+        b = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void forward(std::vector<Complex>& data) {
+  transform(data.data(), data.size(), 1, -1);
+}
+
+void inverse(std::vector<Complex>& data) {
+  transform(data.data(), data.size(), 1, +1);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (auto& c : data) c *= inv;
+}
+
+void transform_3d(Complex* grid, std::size_t nx, std::size_t ny,
+                  std::size_t nz, int sign) {
+  // x transforms: contiguous rows.
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      transform(grid + (z * ny + y) * nx, nx, 1, sign);
+    }
+  }
+  // y transforms: stride nx.
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      transform(grid + z * ny * nx + x, ny, static_cast<std::ptrdiff_t>(nx),
+                sign);
+    }
+  }
+  // z transforms: stride nx*ny.
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      transform(grid + y * nx + x, nz,
+                static_cast<std::ptrdiff_t>(nx * ny), sign);
+    }
+  }
+  if (sign > 0) {
+    const double inv = 1.0 / static_cast<double>(nx * ny * nz);
+    for (std::size_t i = 0; i < nx * ny * nz; ++i) grid[i] *= inv;
+  }
+}
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& in, int sign) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = static_cast<double>(sign) * 2.0 *
+                           std::numbers::pi * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace spp::fft

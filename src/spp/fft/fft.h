@@ -1,0 +1,57 @@
+// Radix-2 FFT library (the simulator's stand-in for HP VECLIB, which the
+// paper's PIC code calls for its Poisson solves).
+//
+// Provides an in-place iterative complex transform, forward/inverse, and a
+// 3D transform over contiguous std::complex<double> grids.  Work counters
+// report the standard 5 N log2 N flops per 1D transform so applications can
+// charge compute against the simulated CPU.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace spp::fft {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_of(std::size_t n) {
+  unsigned k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  return k;
+}
+
+/// In-place complex FFT of length n (power of two) with stride `stride`.
+/// `sign` = -1 forward, +1 inverse (inverse is NOT normalized).
+void transform(Complex* data, std::size_t n, std::ptrdiff_t stride, int sign);
+
+/// Convenience: forward transform of a contiguous vector.
+void forward(std::vector<Complex>& data);
+/// Inverse transform of a contiguous vector, normalized by 1/n.
+void inverse(std::vector<Complex>& data);
+
+/// Flops charged for one 1D transform of length n (standard 5 n log2 n).
+inline double flops_1d(std::size_t n) {
+  return 5.0 * static_cast<double>(n) * log2_of(n);
+}
+
+/// 3D in-place FFT over a contiguous nx*ny*nz grid (x fastest).
+/// `sign` = -1 forward, +1 inverse (inverse normalized by 1/(nx*ny*nz)).
+void transform_3d(Complex* grid, std::size_t nx, std::size_t ny,
+                  std::size_t nz, int sign);
+
+/// Flops for a full 3D transform.
+inline double flops_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
+  return static_cast<double>(ny * nz) * flops_1d(nx) +
+         static_cast<double>(nx * nz) * flops_1d(ny) +
+         static_cast<double>(nx * ny) * flops_1d(nz);
+}
+
+/// Naive O(n^2) DFT for verification in tests.
+std::vector<Complex> naive_dft(const std::vector<Complex>& in, int sign);
+
+}  // namespace spp::fft

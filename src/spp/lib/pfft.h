@@ -1,0 +1,53 @@
+// Parallel 3D FFT on the simulated machine: the first of section 6's
+// missing "fine-tuned libraries" ("parallel FFT, sorting, and scatter-add").
+//
+// Pencil-parallel transform over a shared complex grid with slab-aligned
+// BlockShared placement: the x and y passes stay on the owning hypernode;
+// only the z pass (the transpose) crosses nodes.  Callable inside an
+// existing parallel region so applications can fuse it with their phases.
+#pragma once
+
+#include <complex>
+#include <memory>
+
+#include "spp/fft/fft.h"
+#include "spp/rt/garray.h"
+#include "spp/rt/runtime.h"
+#include "spp/rt/sync.h"
+
+namespace spp::lib {
+
+class ParallelFft3D {
+ public:
+  using Complex = fft::Complex;
+
+  /// Grid dimensions must be powers of two.  `nthreads` participants.
+  ParallelFft3D(rt::Runtime& rt, std::size_t nx, std::size_t ny,
+                std::size_t nz, unsigned nthreads);
+
+  std::size_t size() const { return nx_ * ny_ * nz_; }
+
+  /// Uncharged host access to grid element (x fastest).
+  Complex& at(std::size_t x, std::size_t y, std::size_t z) {
+    return grid_->raw((z * ny_ + y) * nx_ + x);
+  }
+  Complex& at(std::size_t i) { return grid_->raw(i); }
+
+  /// Runs the 3D transform; must be called by ALL `nthreads` threads of a
+  /// parallel region.  sign = -1 forward, +1 inverse (normalized).
+  void transform(unsigned tid, unsigned nthreads, int sign);
+
+  /// Total charged flops of one full transform.
+  double flops() const { return fft::flops_3d(nx_, ny_, nz_); }
+
+ private:
+  void pass(unsigned tid, unsigned nthreads, int axis, int sign);
+
+  rt::Runtime& rt_;
+  std::size_t nx_, ny_, nz_;
+  unsigned nthreads_;
+  std::unique_ptr<rt::GlobalArray<Complex>> grid_;
+  std::unique_ptr<rt::Barrier> barrier_;
+};
+
+}  // namespace spp::lib

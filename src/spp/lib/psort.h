@@ -1,0 +1,32 @@
+// Parallel sort for the simulated SPP-1000 (section 6's wish list: "a last
+// requirement yet to be fully satisfied is the need for fine-tuned libraries
+// for certain critical subroutines such as parallel FFT, sorting, and
+// scatter-add").
+//
+// Locality-aware parallel merge sort over a GlobalArray<double>:
+//   1. each thread sorts its contiguous slice in place (charged streaming
+//      reads/writes, n log n comparison work);
+//   2. slices merge pairwise up a locality-ordered binary tree -- merges
+//      within a hypernode first, one cross-node merge at the root level --
+//      through a shared scratch array.
+//
+// Deterministic and stable with respect to thread count in its result
+// (a sorted permutation is unique for doubles without NaNs).
+#pragma once
+
+#include "spp/rt/garray.h"
+#include "spp/rt/runtime.h"
+
+namespace spp::lib {
+
+struct SortStats {
+  sim::Time sim_time = 0;
+  std::uint64_t comparisons = 0;  ///< charged comparison count (approx).
+};
+
+/// Sorts `data` ascending using `nthreads` threads.  Must be called OUTSIDE
+/// a parallel region (it forks internally).
+SortStats parallel_sort(rt::Runtime& rt, rt::GlobalArray<double>& data,
+                        unsigned nthreads, rt::Placement placement);
+
+}  // namespace spp::lib

@@ -1,0 +1,87 @@
+// Parallel reductions over the simulated machine (building block for the
+// section 6 wish-list libraries: "fine-tuned libraries for certain critical
+// subroutines such as parallel FFT, sorting, and scatter-add").
+//
+// A Reducer is created OUTSIDE the parallel region and used INSIDE it: every
+// thread contributes a value, the contributions combine through a
+// locality-ordered binary tree (intra-hypernode first), and every thread
+// returns with the final value.  Traffic: each thread writes one slot, tree
+// partners stream each other's slots, everyone reads the root.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "spp/rt/garray.h"
+#include "spp/rt/runtime.h"
+#include "spp/rt/sync.h"
+
+namespace spp::lib {
+
+template <typename T>
+class Reducer {
+ public:
+  Reducer(rt::Runtime& rt, unsigned nthreads, rt::Placement placement)
+      : rt_(&rt),
+        nthreads_(nthreads),
+        placement_(placement),
+        slots_(rt, nthreads, arch::MemClass::kNearShared, "reduce.slots"),
+        barrier_(std::make_unique<rt::Barrier>(rt, nthreads)) {
+    // Locality-ordered permutation: threads of a node adjacent, so early
+    // tree rounds stay on-node.
+    perm_.resize(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t) perm_[t] = t;
+    std::stable_sort(perm_.begin(), perm_.end(), [&](unsigned a, unsigned b) {
+      return rt.topo().node_of_cpu(rt.place_cpu(a, nthreads, placement)) <
+             rt.topo().node_of_cpu(rt.place_cpu(b, nthreads, placement));
+    });
+    pos_.resize(nthreads);
+    for (unsigned p = 0; p < nthreads; ++p) pos_[perm_[p]] = p;
+  }
+
+  /// All `nthreads` participants must call this; returns op-fold of all
+  /// contributions (deterministic order).
+  T all_reduce(unsigned tid, const T& value,
+               const std::function<T(const T&, const T&)>& op) {
+    slots_.write(tid, value);
+    barrier_->wait();
+    for (unsigned r = 1; r < nthreads_; r <<= 1) {
+      const unsigned p = pos_[tid];
+      if (p % (2 * r) == 0 && p + r < nthreads_) {
+        const T mine = slots_.read(tid);
+        const T theirs = slots_.read(perm_[p + r]);
+        slots_.write(tid, op(mine, theirs));
+        rt_->work_flops(1);
+      }
+      barrier_->wait();
+    }
+    const T result = slots_.read(perm_[0]);
+    // Keep the next phase's writes from overtaking this phase's reads.
+    barrier_->wait();
+    return result;
+  }
+
+  T all_sum(unsigned tid, const T& value) {
+    return all_reduce(tid, value, [](const T& a, const T& b) { return a + b; });
+  }
+  T all_max(unsigned tid, const T& value) {
+    return all_reduce(tid, value,
+                      [](const T& a, const T& b) { return std::max(a, b); });
+  }
+  T all_min(unsigned tid, const T& value) {
+    return all_reduce(tid, value,
+                      [](const T& a, const T& b) { return std::min(a, b); });
+  }
+
+ private:
+  rt::Runtime* rt_;
+  unsigned nthreads_;
+  rt::Placement placement_;
+  rt::GlobalArray<T> slots_;
+  std::unique_ptr<rt::Barrier> barrier_;
+  std::vector<unsigned> perm_, pos_;
+};
+
+}  // namespace spp::lib

@@ -1,0 +1,173 @@
+#include "spp/pvm/pvm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "spp/arch/address.h"
+
+namespace spp::pvm {
+
+thread_local int Pvm::current_tid_ = -1;
+
+void Message::charge_unpack(std::size_t bytes) {
+  if (charged_rt_ == nullptr || bytes == 0) return;
+  charged_rt_->read(pool_va_ + cursor_, bytes);
+}
+
+Pvm::Pvm(rt::Runtime& rt) : rt_(&rt) {
+  // The shared message buffer pool.  Far-shared so any pair of tasks can
+  // reach it; 16 MB is effectively inexhaustible for our workloads and the
+  // cursor wraps anyway.
+  pool_bytes_ = 16ull << 20;
+  pool_va_ = rt.alloc(pool_bytes_, arch::MemClass::kFarShared, "pvm.pool");
+  mailbox_va_ = rt.alloc(128 * arch::kLineBytes, arch::MemClass::kFarShared,
+                         "pvm.mailboxes");
+}
+
+int Pvm::mytid() const {
+  if (current_tid_ < 0) throw std::logic_error("pvm: not inside a task");
+  return current_tid_;
+}
+
+void Pvm::spawn(unsigned n, rt::Placement placement,
+                const std::function<void(Pvm&, int, int)>& body) {
+  tasks_.clear();
+  pool_cursor_by_task_.assign(n, 0);
+  for (unsigned i = 0; i < n; ++i) {
+    auto t = std::make_unique<Task>();
+    t->tid_ = static_cast<int>(i);
+    t->cpu_ = rt_->place_cpu(i, n, placement);
+    tasks_.push_back(std::move(t));
+  }
+  Pvm* self = this;
+  rt_->parallel(n, placement, [self, &body](unsigned i, unsigned nt) {
+    current_tid_ = static_cast<int>(i);
+    body(*self, static_cast<int>(i), static_cast<int>(nt));
+    current_tid_ = -1;
+  });
+  // Tasks are gone once the fork-join completes.
+  tasks_.clear();
+}
+
+sim::Time Pvm::transport_cost(std::size_t bytes, unsigned src_cpu,
+                              unsigned dst_cpu, sim::Time t,
+                              bool sender_side) {
+  const arch::CostModel& cm = rt_->cost();
+  const auto& topo = rt_->topo();
+  const bool cross_node = topo.node_of_cpu(src_cpu) != topo.node_of_cpu(dst_cpu);
+
+  if (sender_side) {
+    // Pack: streaming copy into the shared pool (local-rate regardless of
+    // destination; the pool page used is the sender's nearest).
+    t += static_cast<sim::Time>(static_cast<double>(bytes) *
+                                cm.pvm_local_byte_ns);
+    return t;
+  }
+  // Receiver side: copy out of the pool.  Crossing hypernodes pays the SCI
+  // transport (fixed engine cost plus per-byte ring streaming); large
+  // messages additionally pay a per-page cost beyond 2 pages (8 KB), the
+  // regime change Figure 4 shows.
+  const double byte_rate = cross_node ? cm.pvm_ring_byte_ns : cm.pvm_local_byte_ns;
+  t += static_cast<sim::Time>(static_cast<double>(bytes) * byte_rate);
+  if (cross_node) t += cm.pvm_ring_fixed;
+  const std::uint64_t pages =
+      (bytes + arch::kPageBytes - 1) / arch::kPageBytes;
+  if (pages > 2) t += cm.pvm_page_cost * (pages - 2);
+  return t;
+}
+
+void Pvm::send(int dst, int tag, Message m) {
+  if (dst < 0 || dst >= ntasks()) throw std::out_of_range("pvm: bad dst tid");
+  const int me = mytid();
+  Task& sender = *tasks_[me];
+  Task& receiver = *tasks_[dst];
+  rt::SThread& th = rt::Conductor::self();
+  rt_->conductor().yield();
+
+  const arch::CostModel& cm = rt_->cost();
+  th.advance(cm.pvm_send_sw);
+  th.set_clock(transport_cost(m.size_bytes(), sender.cpu_, receiver.cpu_,
+                              th.clock(), /*sender_side=*/true));
+
+  // Control traffic: enqueue on the receiver's mailbox line (a genuine
+  // coherent write that shows up in the hardware counters).
+  const arch::VAddr mailbox_line =
+      mailbox_va_ + static_cast<arch::VAddr>(dst % 128) * arch::kLineBytes;
+  th.set_clock(
+      rt_->machine().access(th.cpu(), mailbox_line, true, th.clock()));
+
+  auto msg = std::make_shared<Message>(std::move(m));
+  msg->tag = tag;
+  msg->sender = me;
+  // Reserve the payload's home in the shared pool; the sender's own pages
+  // are used ("a sending process packs data into a shared memory buffer"),
+  // so the receiver's unpack reads remotely when we are on another node.
+  // Per-task pool slices keep senders from aliasing each other's lines.
+  const std::uint64_t slice = pool_bytes_ / (tasks_.size() + 1);
+  const std::uint64_t need =
+      (msg->size_bytes() + arch::kLineBytes - 1) / arch::kLineBytes *
+      arch::kLineBytes;
+  std::uint64_t& cur = pool_cursor_by_task_[me];
+  if (cur + need > slice) cur = 0;
+  msg->pool_va_ = pool_va_ + static_cast<std::uint64_t>(me) * slice + cur;
+  cur += need;
+  receiver.mailbox_.push_back(msg);
+  ++messages_sent_;
+  bytes_sent_ += msg->size_bytes();
+
+  if (receiver.waiting_ != nullptr &&
+      matches(*msg, receiver.waiting_src_, receiver.waiting_tag_)) {
+    rt::SThread* waiter = receiver.waiting_;
+    receiver.waiting_ = nullptr;
+    rt_->conductor().unblock(waiter, th.clock());
+  }
+}
+
+Message Pvm::recv(int src, int tag) {
+  const int me = mytid();
+  Task& task = *tasks_[me];
+  rt::SThread& th = rt::Conductor::self();
+  rt_->conductor().yield();
+
+  const arch::CostModel& cm = rt_->cost();
+
+  for (;;) {
+    auto it = std::find_if(
+        task.mailbox_.begin(), task.mailbox_.end(),
+        [&](const auto& m) { return matches(*m, src, tag); });
+    if (it != task.mailbox_.end()) {
+      std::shared_ptr<Message> msg = *it;
+      task.mailbox_.erase(it);
+      // Receive software path runs once the message is available (charging
+      // it before blocking would let the wait absorb it).
+      th.advance(cm.pvm_recv_sw);
+      // Arm payload charging: unpack() reads the sender's pool buffer.
+      msg->charged_rt_ = rt_;
+      // Read the mailbox control line, then stream the payload out.
+      const arch::VAddr mailbox_line =
+          mailbox_va_ + static_cast<arch::VAddr>(me % 128) * arch::kLineBytes;
+      th.set_clock(
+          rt_->machine().access(th.cpu(), mailbox_line, false, th.clock()));
+      th.set_clock(transport_cost(msg->size_bytes(),
+                                  tasks_[msg->sender]->cpu_, task.cpu_,
+                                  th.clock(), /*sender_side=*/false));
+      return std::move(*msg);
+    }
+    // Nothing yet: block until a matching send wakes us.
+    task.waiting_ = &th;
+    task.waiting_src_ = src;
+    task.waiting_tag_ = tag;
+    rt_->conductor().block();
+  }
+}
+
+bool Pvm::probe(int src, int tag) const {
+  const int me = mytid();
+  const Task& task = *tasks_[me];
+  return std::any_of(task.mailbox_.begin(), task.mailbox_.end(),
+                     [&](const auto& m) { return matches(*m, src, tag); });
+}
+
+}  // namespace spp::pvm

@@ -1,0 +1,199 @@
+#include "spp/rt/conductor.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace spp::rt {
+
+namespace {
+thread_local SThread* g_current = nullptr;
+
+/// Thrown inside a simulated thread when the conductor tears the simulation
+/// down (deadlock, destruction); unwinds the thread's stack cleanly.
+struct ShutdownSignal {};
+}
+
+// ---------------------------------------------------------------------------
+// SThread
+// ---------------------------------------------------------------------------
+
+SThread::SThread(Conductor* c, unsigned tid, unsigned cpu, sim::Time start,
+                 std::function<void()> fn)
+    : conductor_(c), tid_(tid), cpu_(cpu), clock_(start), fn_(std::move(fn)) {
+  os_ = std::thread([this] { os_body(); });
+}
+
+void SThread::os_body() {
+  // Wait for the first grant before touching anything.
+  {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [this] { return may_run_ || shutdown_; });
+    if (shutdown_) {
+      state_ = State::kDone;
+      return;
+    }
+    may_run_ = false;
+  }
+  g_current = this;
+  try {
+    fn_();
+  } catch (const ShutdownSignal&) {
+    // Conductor-initiated teardown: exit quietly.
+  } catch (...) {
+    // A simulated thread must never unwind into the OS thread shim; treat
+    // exceptions as fatal for the whole simulation.
+    std::terminate();
+  }
+  g_current = nullptr;
+  // Final hand-back: mark done; conductor joins us later.
+  std::unique_lock lk(mu_);
+  state_ = State::kDone;
+  handed_back_ = true;
+  cv_.notify_all();
+}
+
+void SThread::hand_back(State next_state) {
+  std::unique_lock lk(mu_);
+  state_ = next_state;
+  handed_back_ = true;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return may_run_ || shutdown_; });
+  if (shutdown_) {
+    lk.unlock();
+    throw ShutdownSignal{};
+  }
+  may_run_ = false;
+  state_ = State::kRunning;
+}
+
+void SThread::run_once() {
+  std::unique_lock lk(mu_);
+  state_ = State::kRunning;
+  may_run_ = true;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return handed_back_; });
+  handed_back_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Conductor
+// ---------------------------------------------------------------------------
+
+Conductor::~Conductor() { shutdown_all(); }
+
+void Conductor::shutdown_all() {
+  for (auto& t : threads_) {
+    {
+      std::lock_guard lk(t->mu_);
+      t->shutdown_ = true;
+      t->cv_.notify_all();
+    }
+    if (t->os_.joinable()) t->os_.join();
+  }
+  threads_.clear();
+  ready_.clear();
+  blocked_ = 0;
+  live_ = 0;
+}
+
+SThread& Conductor::self() {
+  assert(g_current != nullptr && "not inside a simulated thread");
+  return *g_current;
+}
+
+bool Conductor::in_sthread() { return g_current != nullptr; }
+
+void Conductor::run(std::function<void()> main_fn, unsigned cpu,
+                    sim::Time start) {
+  if (running_) throw std::logic_error("Conductor::run is not reentrant");
+  running_ = true;
+  spawn(std::move(main_fn), cpu, start);
+  try {
+    loop();
+  } catch (...) {
+    shutdown_all();
+    running_ = false;
+    next_tid_ = 0;
+    throw;
+  }
+  running_ = false;
+  // Join and release finished threads so repeated run() calls stay clean.
+  for (auto& t : threads_) {
+    if (t->os_.joinable()) t->os_.join();
+  }
+  threads_.clear();
+  ready_.clear();
+  next_tid_ = 0;
+}
+
+SThread* Conductor::spawn(std::function<void()> fn, unsigned cpu,
+                          sim::Time start) {
+  if (cpu >= machine_.topo().num_cpus()) {
+    throw std::out_of_range("spawn: cpu out of range");
+  }
+  std::unique_ptr<SThread> t(
+      new SThread(this, next_tid_++, cpu, start, std::move(fn)));
+  SThread* raw = t.get();
+  threads_.push_back(std::move(t));
+  ready_.insert(raw);
+  ++live_;
+  return raw;
+}
+
+void Conductor::loop() {
+  while (!ready_.empty()) {
+    SThread* t = *ready_.begin();
+    ready_.erase(ready_.begin());
+    t->run_once();
+    switch (t->state()) {
+      case SThread::State::kReady:
+        ready_.insert(t);
+        break;
+      case SThread::State::kBlocked:
+        ++blocked_;
+        break;
+      case SThread::State::kDone:
+        --live_;
+        break;
+      case SThread::State::kRunning:
+        throw std::logic_error("thread handed back while Running");
+    }
+  }
+  if (blocked_ != 0) {
+    throw std::runtime_error(
+        "simulated deadlock: all live threads are blocked");
+  }
+}
+
+void Conductor::yield(sim::Time slack) {
+  SThread& me = self();
+  me.last_yield_ = me.clock_;
+  // Fast path: nobody ready is earlier than us (within the slack), so a
+  // handoff would resume us immediately anyway.
+  if (ready_.empty() || (*ready_.begin())->clock() + slack > me.clock() ||
+      ((*ready_.begin())->clock() + slack == me.clock() &&
+       (*ready_.begin())->tid() > me.tid())) {
+    return;
+  }
+  me.hand_back(SThread::State::kReady);
+}
+
+void Conductor::block() {
+  SThread& me = self();
+  me.hand_back(SThread::State::kBlocked);
+}
+
+void Conductor::unblock(SThread* t, sim::Time at) {
+  assert(t->state() == SThread::State::kBlocked);
+  t->clock_ = std::max(t->clock_, at);
+  t->state_ = SThread::State::kReady;
+  ready_.insert(t);
+  --blocked_;
+}
+
+sim::Time Conductor::min_other_ready_clock() const {
+  if (ready_.empty()) return ~sim::Time{0};
+  return (*ready_.begin())->clock();
+}
+
+}  // namespace spp::rt

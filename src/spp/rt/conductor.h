@@ -1,0 +1,152 @@
+// The conductor: a deterministic sequencer for simulated threads.
+//
+// Every simulated thread (SThread) is backed by an OS thread, but EXACTLY ONE
+// runs at any moment: the conductor always resumes the ready thread with the
+// smallest (local clock, thread id).  Application code is therefore race-free
+// and bit-reproducible; parallelism exists only in simulated time, where each
+// thread carries its own clock and contended hardware is modeled by
+// spp::sim::Resource busy-until queues (DESIGN.md section 5.1).
+//
+// An SThread advances its clock locally (compute charges, memory access
+// latencies) and returns control to the conductor at scheduling points:
+// yield() (cheap reschedule), block() (wait for another thread to unblock
+// it), or completion.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "spp/arch/machine.h"
+#include "spp/sim/time.h"
+
+namespace spp::rt {
+
+class Conductor;
+
+/// One simulated thread of execution, bound to a simulated CPU.
+class SThread {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kDone };
+
+  unsigned tid() const { return tid_; }
+  unsigned cpu() const { return cpu_; }
+  sim::Time clock() const { return clock_; }
+  State state() const { return state_; }
+
+  /// Advances local time without a scheduling point.
+  void advance(sim::Time dt) { clock_ += dt; }
+  void set_clock(sim::Time t) { clock_ = t; }
+
+  /// Simulated time of the last scheduling point (quantum bookkeeping).
+  sim::Time last_yield() const { return last_yield_; }
+
+  Conductor& conductor() { return *conductor_; }
+
+ private:
+  friend class Conductor;
+
+  SThread(Conductor* c, unsigned tid, unsigned cpu, sim::Time start,
+          std::function<void()> fn);
+
+  void os_body();
+  /// Hands control back to the conductor; returns when resumed.
+  void hand_back(State next_state);
+  /// Conductor side: resume this thread and wait for the hand-back.
+  void run_once();
+
+  Conductor* conductor_;
+  unsigned tid_;
+  unsigned cpu_;
+  sim::Time clock_ = 0;
+  sim::Time last_yield_ = 0;
+  State state_ = State::kReady;
+  std::function<void()> fn_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool may_run_ = false;      // conductor -> thread
+  bool handed_back_ = false;  // thread -> conductor
+  bool shutdown_ = false;     // conductor -> thread: unwind and exit
+  std::thread os_;
+};
+
+/// Owns all simulated threads and runs the scheduling loop.
+class Conductor {
+ public:
+  explicit Conductor(arch::Machine& machine) : machine_(machine) {}
+  ~Conductor();
+
+  Conductor(const Conductor&) = delete;
+  Conductor& operator=(const Conductor&) = delete;
+
+  arch::Machine& machine() { return machine_; }
+
+  /// Runs `main_fn` as simulated thread 0 on `cpu` and drives the scheduling
+  /// loop until every simulated thread has finished.  Throws on deadlock.
+  void run(std::function<void()> main_fn, unsigned cpu = 0,
+           sim::Time start = 0);
+
+  /// The currently running simulated thread (valid only while inside one).
+  static SThread& self();
+  /// True if called from inside a simulated thread.
+  static bool in_sthread();
+
+  // --- called from inside simulated threads ---------------------------------
+  /// Creates a new ready thread.  Returns a stable pointer (owned here).
+  SThread* spawn(std::function<void()> fn, unsigned cpu, sim::Time start);
+  /// Scheduling point: lets an earlier-clocked thread run first.  Cheap
+  /// no-op if the caller is still the earliest (within `slack`).  A nonzero
+  /// slack trades interleaving fidelity for fewer OS handoffs: the caller
+  /// keeps running until it is `slack` ahead of the earliest ready thread,
+  /// bounding the resource-order error by `slack` (DESIGN.md section 5.1).
+  void yield(sim::Time slack = 0);
+  /// Quantum-based scheduling point used by charged operations: checks every
+  /// `quantum` of local progress and hands off with hysteresis, so
+  /// concurrent threads interleave at a few-microsecond granularity without
+  /// a kernel round trip per memory access.
+  void quantum_yield(sim::Time quantum = 400 * sim::kNanosecond) {
+    SThread& me = self();
+    if (me.clock_ - me.last_yield_ >= quantum) {
+      yield(4 * sim::kMicrosecond);
+    }
+  }
+  /// Blocks the calling thread until some other thread unblock()s it.
+  void block();
+  /// Makes `t` ready again with clock at least `at`.
+  void unblock(SThread* t, sim::Time at);
+  /// Earliest clock among other ready threads (max value if none).
+  sim::Time min_other_ready_clock() const;
+
+  std::size_t live_threads() const { return live_; }
+
+ private:
+  friend class SThread;
+
+  struct Order {
+    bool operator()(const SThread* a, const SThread* b) const {
+      if (a->clock() != b->clock()) return a->clock() < b->clock();
+      return a->tid() < b->tid();
+    }
+  };
+
+  void loop();
+  /// Wakes every non-finished thread with the shutdown flag and joins it
+  /// (used on simulated deadlock and at destruction).
+  void shutdown_all();
+
+  arch::Machine& machine_;
+  std::vector<std::unique_ptr<SThread>> threads_;
+  std::set<SThread*, Order> ready_;
+  std::size_t live_ = 0;     ///< threads not yet Done.
+  std::size_t blocked_ = 0;  ///< threads currently Blocked.
+  unsigned next_tid_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace spp::rt

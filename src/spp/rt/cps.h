@@ -1,0 +1,86 @@
+// CPSlib-flavored compatibility veneer.
+//
+// Section 3.2: "Threads can be created either by using the vendor's low
+// level Compiler Parallel Support Library (CPSlib), which provides
+// primitives for thread creation and synchronization, or a high level
+// parallel directive interface."  Runtime::parallel is the directive
+// interface; this header is the low-level one, for code ported from
+// CPSlib-style sources.  Names follow the cps_* convention (ppcall = spawn
+// a parallel region, barrier/mutex/sema wrappers over spp::rt::sync).
+//
+// Everything here is a thin adapter; no new mechanism.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "spp/rt/runtime.h"
+#include "spp/rt/sync.h"
+
+namespace spp::cps {
+
+/// Number of processors the "kernel" reports (cps_topology()).
+inline unsigned cps_complex_nodes(rt::Runtime& rt) { return rt.topo().nodes; }
+inline unsigned cps_complex_ncpus(rt::Runtime& rt) {
+  return rt.topo().num_cpus();
+}
+
+/// cps_ppcall: spawn `nthreads` symmetric threads running `fn(tid)` and wait
+/// for all of them (the fundamental CPSlib spawn).
+inline void cps_ppcall(rt::Runtime& rt, unsigned nthreads,
+                       const std::function<void(unsigned)>& fn,
+                       rt::Placement placement = rt::Placement::kHighLocality) {
+  rt.parallel(nthreads, placement, [&](unsigned tid, unsigned) { fn(tid); });
+}
+
+/// cps_ppcall_async / cps_join: the asynchronous-thread variant.
+inline rt::AsyncGroup cps_ppcall_async(
+    rt::Runtime& rt, unsigned nthreads,
+    const std::function<void(unsigned)>& fn,
+    rt::Placement placement = rt::Placement::kHighLocality) {
+  return rt.spawn_async(nthreads, placement,
+                        [fn](unsigned tid, unsigned) { fn(tid); });
+}
+inline void cps_join(rt::Runtime& rt, rt::AsyncGroup& group) {
+  rt.join(group);
+}
+
+/// cps_barrier: allocate once, wait many times.
+class cps_barrier_t {
+ public:
+  cps_barrier_t(rt::Runtime& rt, unsigned parties)
+      : barrier_(std::make_unique<rt::Barrier>(rt, parties)) {}
+  void wait() { barrier_->wait(); }
+
+ private:
+  std::unique_ptr<rt::Barrier> barrier_;
+};
+
+/// cps_mutex: CPSlib gate / mutual exclusion.
+class cps_mutex_t {
+ public:
+  explicit cps_mutex_t(rt::Runtime& rt)
+      : lock_(std::make_unique<rt::Lock>(rt)) {}
+  void lock() { lock_->acquire(); }
+  void unlock() { lock_->release(); }
+
+ private:
+  std::unique_ptr<rt::Lock> lock_;
+};
+
+/// cps_sema: counting semaphore (the uncached kind the barrier uses).
+class cps_sema_t {
+ public:
+  cps_sema_t(rt::Runtime& rt, unsigned initial)
+      : sema_(std::make_unique<rt::Semaphore>(rt, initial)) {}
+  void wait() { sema_->p(); }
+  void post() { sema_->v(); }
+
+ private:
+  std::unique_ptr<rt::Semaphore> sema_;
+};
+
+/// cps_stime: the thread's simulated clock in nanoseconds (timer register).
+inline sim::Time cps_stime(rt::Runtime& rt) { return rt.now(); }
+
+}  // namespace spp::cps

@@ -1,0 +1,175 @@
+#include "spp/rt/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace spp::rt {
+
+Runtime* Runtime::active_ = nullptr;
+
+struct AsyncGroup::State {
+  unsigned remaining = 0;
+  SThread* joiner = nullptr;  ///< parent blocked in join(), if any.
+  std::vector<sim::Time> finish;
+  std::vector<bool> remote;
+  sim::Time last_finish = 0;
+  bool joined = false;
+};
+
+Runtime::Runtime(arch::Topology topo, arch::CostModel cm)
+    : machine_(topo, cm), conductor_(machine_) {}
+
+Runtime::~Runtime() {
+  if (active_ == this) active_ = prev_active_;
+}
+
+Runtime& Runtime::active() {
+  assert(active_ != nullptr && "no Runtime::run in progress");
+  return *active_;
+}
+
+void Runtime::run(const std::function<void()>& fn) {
+  prev_active_ = active_;
+  active_ = this;
+  sim::Time final_clock = end_time_;
+  conductor_.run(
+      [&] {
+        fn();
+        final_clock = Conductor::self().clock();
+      },
+      /*cpu=*/0, /*start=*/end_time_);
+  end_time_ = final_clock;
+  active_ = prev_active_;
+}
+
+void Runtime::work_flops(double n) {
+  SThread& me = Conductor::self();
+  conductor_.quantum_yield();
+  me.advance(sim::cycles(machine_.cost().flop_cycles(n)));
+  auto& c = machine_.perf().cpu[me.cpu()];
+  c.flops += n;
+  c.compute += sim::cycles(machine_.cost().flop_cycles(n));
+}
+
+void Runtime::work_ops(double n) {
+  SThread& me = Conductor::self();
+  conductor_.quantum_yield();
+  const sim::Time dt = sim::cycles(machine_.cost().intop_cycles(n));
+  me.advance(dt);
+  machine_.perf().cpu[me.cpu()].compute += dt;
+}
+
+void Runtime::read(arch::VAddr va, std::uint64_t bytes) {
+  SThread& me = Conductor::self();
+  conductor_.quantum_yield();
+  me.set_clock(machine_.access_block(me.cpu(), va, bytes, false, me.clock()));
+}
+
+void Runtime::write(arch::VAddr va, std::uint64_t bytes) {
+  SThread& me = Conductor::self();
+  conductor_.quantum_yield();
+  me.set_clock(machine_.access_block(me.cpu(), va, bytes, true, me.clock()));
+}
+
+unsigned Runtime::place_cpu(unsigned i, unsigned n, Placement placement) const {
+  const arch::Topology& topo = machine_.topo();
+  switch (placement) {
+    case Placement::kHighLocality:
+      return i % topo.num_cpus();
+    case Placement::kUniform: {
+      // Deal threads across hypernodes round-robin; fill each node's CPUs in
+      // order as it receives threads.
+      const unsigned node = i % topo.nodes;
+      const unsigned slot = (i / topo.nodes) % arch::kCpusPerNode;
+      return node * arch::kCpusPerNode + slot;
+    }
+  }
+  (void)n;
+  throw std::logic_error("bad placement");
+}
+
+std::vector<SThread*> Runtime::spawn_group(
+    unsigned n, Placement placement,
+    const std::function<void(unsigned, unsigned)>& body, AsyncGroup& out) {
+  SThread& parent = Conductor::self();
+  const arch::CostModel& cm = machine_.cost();
+  const arch::Topology& topo = machine_.topo();
+  const unsigned parent_node = topo.node_of_cpu(parent.cpu());
+
+  auto st = std::make_shared<AsyncGroup::State>();
+  st->remaining = n;
+  st->finish.resize(n, 0);
+  st->remote.resize(n, false);
+  out.state_ = st;
+
+  parent.advance(cm.fork_fixed);
+  std::vector<SThread*> kids;
+  kids.reserve(n);
+  bool engaged_remote = false;
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned cpu = place_cpu(i, n, placement);
+    const bool remote = topo.node_of_cpu(cpu) != parent_node;
+    st->remote[i] = remote;
+    if (remote && !engaged_remote) {
+      // One-time cost of involving a second hypernode in this fork: the
+      // remote node's kernel must set up scheduling state (Figure 2's ~50 us
+      // step when threads first spill onto the second hypernode).
+      parent.advance(cm.remote_engage);
+      engaged_remote = true;
+    }
+    parent.advance(remote ? cm.thread_create_remote : cm.thread_create_local);
+
+    Conductor* cond = &conductor_;
+    kids.push_back(conductor_.spawn(
+        [st, body, i, n, cond] {
+          body(i, n);
+          SThread& me = Conductor::self();
+          st->finish[i] = me.clock();
+          st->last_finish = std::max(st->last_finish, me.clock());
+          if (--st->remaining == 0 && st->joiner != nullptr) {
+            cond->unblock(st->joiner, st->last_finish);
+          }
+        },
+        cpu, parent.clock()));
+  }
+  return kids;
+}
+
+void Runtime::parallel(unsigned n, Placement placement,
+                       const std::function<void(unsigned, unsigned)>& body) {
+  AsyncGroup g = spawn_async(n, placement, body);
+  join(g);
+}
+
+AsyncGroup Runtime::spawn_async(
+    unsigned n, Placement placement,
+    const std::function<void(unsigned, unsigned)>& body) {
+  if (n == 0) throw std::invalid_argument("spawn of zero threads");
+  AsyncGroup g;
+  spawn_group(n, placement, body, g);
+  return g;
+}
+
+void Runtime::join(AsyncGroup& group) {
+  if (!group.valid()) throw std::invalid_argument("join of invalid group");
+  auto st = group.state_;
+  if (st->joined) throw std::logic_error("group joined twice");
+  st->joined = true;
+
+  SThread& parent = Conductor::self();
+  if (st->remaining > 0) {
+    st->joiner = &parent;
+    conductor_.block();
+  } else {
+    parent.set_clock(std::max(parent.clock(), st->last_finish));
+  }
+  // Reap each child sequentially (the join half of Figure 2's cost).
+  const arch::CostModel& cm = machine_.cost();
+  for (std::size_t i = 0; i < st->finish.size(); ++i) {
+    parent.advance(st->remote[i] ? cm.thread_reap_remote
+                                 : cm.thread_reap_local);
+  }
+}
+
+}  // namespace spp::rt

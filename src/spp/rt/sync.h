@@ -1,0 +1,104 @@
+// Synchronization primitives matching the Convex compiler directives
+// (critical sections, gates, barriers -- section 3.2) and the barrier
+// implementation the paper describes in section 4.2:
+//
+//   "each thread decrement[s] an uncached counting semaphore and then
+//    enter[s] a while loop, waiting for a shared variable to be set ...
+//    Because this shared variable is cached by all of the threads,
+//    coherency mechanisms are invoked when the final thread alters its
+//    value."
+//
+// The simulated Barrier reproduces exactly that structure: arrival is an
+// uncached atomic decrement at the semaphore's home memory; waiting threads
+// cache the release flag's line; the last arrival's write invalidates every
+// cached copy (local directory invalidations plus a sequential SCI purge walk
+// for remote nodes -- this is where Figure 3's release-cost growth comes
+// from); each waiter then refetches the line, serializing at the flag's home
+// bank.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "spp/arch/address.h"
+#include "spp/rt/conductor.h"
+#include "spp/rt/runtime.h"
+#include "spp/sim/time.h"
+
+namespace spp::rt {
+
+class Barrier {
+ public:
+  /// A barrier for `parties` threads whose control variables live on
+  /// hypernode `home_node` (NearShared, as the runtime allocates them).
+  Barrier(Runtime& rt, unsigned parties, unsigned home_node = 0);
+
+  /// Blocks until all parties have arrived.  Charges the full coherence
+  /// traffic of the spin-barrier protocol.
+  void wait();
+
+  /// Changes the party count (only when nobody is waiting).
+  void reset(unsigned parties);
+
+  unsigned parties() const { return parties_; }
+
+  /// Simulated time at which the barrier last released (for benches).
+  sim::Time last_release() const { return last_release_; }
+
+ private:
+  Runtime* rt_;
+  unsigned parties_;
+  unsigned count_ = 0;
+  arch::VAddr sem_va_;   ///< uncached counting semaphore.
+  arch::VAddr flag_va_;  ///< cached release flag (one line).
+  std::vector<SThread*> waiters_;
+  sim::Time last_release_ = 0;
+};
+
+/// Mutual exclusion (compiler "critical section" / "gate").  FIFO handoff in
+/// simulated-time order.
+class Lock {
+ public:
+  explicit Lock(Runtime& rt, unsigned home_node = 0);
+
+  void acquire();
+  void release();
+
+ private:
+  Runtime* rt_;
+  arch::VAddr va_;
+  bool held_ = false;
+  std::deque<SThread*> queue_;
+};
+
+/// RAII guard for Lock.
+class CriticalSection {
+ public:
+  explicit CriticalSection(Lock& lock) : lock_(lock) { lock_.acquire(); }
+  ~CriticalSection() { lock_.release(); }
+  CriticalSection(const CriticalSection&) = delete;
+  CriticalSection& operator=(const CriticalSection&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+/// Counting semaphore (uncached, like the barrier's arrival counter).
+class Semaphore {
+ public:
+  Semaphore(Runtime& rt, unsigned initial, unsigned home_node = 0);
+
+  void p();  ///< wait / decrement.
+  void v();  ///< signal / increment.
+
+  unsigned value() const { return value_; }
+
+ private:
+  Runtime* rt_;
+  arch::VAddr va_;
+  unsigned value_;
+  std::deque<SThread*> queue_;
+};
+
+}  // namespace spp::rt

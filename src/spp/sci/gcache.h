@@ -1,0 +1,66 @@
+// Global cache buffers (the "CTcache"): per-(hypernode, ring) direct-mapped
+// caches of remote lines, carved out of functional-unit memory (section 2.5:
+// "A cache buffer is partitioned out of the functional unit memory to support
+// cache line copies from the other hypernode memories on the same global
+// ring").
+//
+// A gcache entry acts as the home-proxy for its line within the node: it
+// remembers which local CPUs hold L1 copies, so that an SCI purge arriving
+// from the line's real home can invalidate exactly the right caches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "spp/arch/address.h"
+
+namespace spp::sci {
+
+/// One global-cache buffer (one node x one ring).
+class GCache {
+ public:
+  struct Entry {
+    arch::LineAddr line = kNoLine;
+    bool dirty = false;           ///< node holds the only, modified copy.
+    std::uint8_t cpu_sharers = 0; ///< bitmask over the node's 8 CPUs.
+  };
+
+  static constexpr arch::LineAddr kNoLine =
+      std::numeric_limits<arch::LineAddr>::max();
+
+  explicit GCache(std::uint64_t bytes, unsigned num_fus = 1)
+      : sets_(bytes / arch::kLineBytes), num_fus_(num_fus), entries_(sets_) {}
+
+  std::uint64_t sets() const { return sets_; }
+
+  std::uint64_t set_of(arch::LineAddr line) const {
+    return arch::compact_line(line, num_fus_) % sets_;
+  }
+
+  Entry& slot(arch::LineAddr line) { return entries_[set_of(line)]; }
+  const Entry& slot(arch::LineAddr line) const {
+    return entries_[set_of(line)];
+  }
+
+  bool present(arch::LineAddr line) const {
+    const Entry& e = slot(line);
+    return e.line == line;
+  }
+
+  void drop(arch::LineAddr line) {
+    Entry& e = slot(line);
+    if (e.line == line) e = Entry{};
+  }
+
+  void clear() {
+    for (auto& e : entries_) e = Entry{};
+  }
+
+ private:
+  std::uint64_t sets_;
+  unsigned num_fus_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace spp::sci

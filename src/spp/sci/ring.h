@@ -1,0 +1,61 @@
+// The four unidirectional SCI rings connecting hypernodes (section 2.5).
+//
+// Ring r joins the r-th functional unit of every hypernode.  A packet from
+// node `a` to node `b` traverses the links a->a+1->...->b (mod N); each link
+// is a contended Resource and each hop adds fixed latency.  One-node machines
+// have rings with zero links and never route packets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "spp/arch/cost_model.h"
+#include "spp/arch/topology.h"
+#include "spp/sim/resource.h"
+#include "spp/sim/time.h"
+
+namespace spp::sci {
+
+class RingFabric {
+ public:
+  RingFabric(const arch::Topology& topo, const arch::CostModel& cm)
+      : topo_(topo), cm_(cm) {
+    for (auto& ring : links_) ring.resize(topo.nodes);
+  }
+
+  /// Sends one packet on ring `ring` from node `from` to node `to`, starting
+  /// at time `t`.  Returns the arrival time and counts the packet.
+  sim::Time transit(unsigned ring, unsigned from, unsigned to, sim::Time t) {
+    const unsigned hops = topo_.ring_hops(from, to);
+    unsigned node = from;
+    for (unsigned h = 0; h < hops; ++h) {
+      sim::Resource& link = links_[ring][node];
+      t = link.acquire(t, sim::cycles(cm_.ring_link_hold));
+      t += sim::cycles(cm_.ring_hop);
+      node = (node + 1) % topo_.nodes;
+    }
+    ++packets_;
+    return t;
+  }
+
+  std::uint64_t packets() const { return packets_; }
+
+  /// Total queueing delay accumulated on all links (contention indicator).
+  sim::Time total_link_wait() const {
+    sim::Time w = 0;
+    for (const auto& ring : links_) {
+      for (const auto& link : ring) w += link.total_wait();
+    }
+    return w;
+  }
+
+ private:
+  arch::Topology topo_;
+  arch::CostModel cm_;
+  /// links_[ring][i] = the link leaving node i on that ring.
+  std::array<std::vector<sim::Resource>, arch::kNumRings> links_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace spp::sci

@@ -1,0 +1,39 @@
+#include "spp/sim/log.h"
+
+#include <cstdio>
+
+namespace spp::sim {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace detail {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[spp %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace spp::sim

@@ -1,0 +1,33 @@
+// Minimal leveled logging for the simulator.
+//
+// Off by default so benchmarks and tests run quietly; protocol-level tracing
+// (level kTrace) is invaluable when debugging coherence state machines.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace spp::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel& log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buf[512];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  detail::log_line(level, buf);
+}
+
+inline void log_trace(const std::string& msg) {
+  if (LogLevel::kTrace >= log_level()) detail::log_line(LogLevel::kTrace, msg);
+}
+
+}  // namespace spp::sim

@@ -1,0 +1,93 @@
+// Deterministic random-number generation for workloads and placement.
+//
+// The reproduction must be bit-reproducible run to run (the conductor
+// serializes simulated threads, so the only nondeterminism risk is RNG
+// state).  We use splitmix64 for seeding and xoshiro256** as the stream
+// generator; both are public-domain algorithms with well-understood
+// statistical behaviour and no global state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace spp::sim {
+
+/// splitmix64: used to expand a single seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic RNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5BB1000DEFA017ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    have_gauss_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).  n must be nonzero.
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return gauss_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = next_double();
+    } while (u1 <= 1e-300);
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;
+    gauss_ = r * std::sin(theta);
+    have_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double sigma) {
+    return mean + sigma * gaussian();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace spp::sim

@@ -1,0 +1,76 @@
+// Running statistics and histogram helpers used by the measurement harness.
+//
+// The paper's methodology (section 4) repeats each synthetic experiment many
+// times and reports either averages or observed minima depending on the
+// metric; RunningStat supports both without storing samples.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace spp::sim {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram for latency distributions (used by ablation benches).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double x) {
+    if (counts_.empty()) return;
+    double t = (x - lo_) / (hi_ - lo_);
+    t = std::clamp(t, 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+    if (idx == counts_.size()) --idx;
+    ++counts_[idx];
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace spp::sim

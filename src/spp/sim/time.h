@@ -1,0 +1,37 @@
+// Simulated-time primitives for the SPP-1000 machine model.
+//
+// All simulated latencies in the library are expressed as unsigned
+// nanoseconds.  The HP PA-7100 in the SPP-1000 is clocked at 100 MHz, so one
+// processor cycle is exactly 10 ns; helpers below convert between the two
+// units so architectural code can speak in cycles while the event machinery
+// speaks in nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace spp::sim {
+
+/// Simulated time in nanoseconds since the start of the run.
+using Time = std::uint64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Nanoseconds per PA-7100 cycle (100 MHz clock).
+inline constexpr Time kCycle = 10;
+
+/// Converts a cycle count to nanoseconds.
+constexpr Time cycles(std::uint64_t n) { return n * kCycle; }
+
+/// Converts nanoseconds to (truncated) cycles.
+constexpr std::uint64_t to_cycles(Time t) { return t / kCycle; }
+
+/// Converts nanoseconds to seconds as a double, for reporting.
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+/// Converts nanoseconds to microseconds as a double, for reporting.
+constexpr double to_usec(Time t) { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace spp::sim

@@ -1,0 +1,165 @@
+// Cost-model sensitivity tests: perturbing a constant must move exactly the
+// behaviours that depend on it.  These guard against the calibration table
+// silently decoupling from the protocol state machines.
+#include <gtest/gtest.h>
+
+#include "spp/arch/machine.h"
+#include "spp/pvm/pvm.h"
+#include "spp/rt/runtime.h"
+#include "spp/rt/sync.h"
+
+namespace spp {
+namespace {
+
+using arch::CostModel;
+using arch::kLineBytes;
+using arch::kPageBytes;
+using arch::Machine;
+using arch::MemClass;
+using arch::Topology;
+using arch::VAddr;
+
+sim::Time remote_miss(const CostModel& cm) {
+  Machine m(Topology{.nodes = 2}, cm);
+  const VAddr va = m.vm().allocate(kPageBytes, MemClass::kNearShared, "r", 1);
+  return m.access(0, va, false, 1000000) - 1000000;
+}
+
+sim::Time local_miss(const CostModel& cm) {
+  Machine m(Topology{.nodes = 2}, cm);
+  const VAddr va = m.vm().allocate(kPageBytes, MemClass::kNearShared, "l", 0);
+  return m.access(0, va, false, 1000000) - 1000000;
+}
+
+TEST(Ablation, RingHopMovesOnlyRemoteLatency) {
+  CostModel base;
+  CostModel fast = base;
+  fast.ring_hop = base.ring_hop / 2;
+  EXPECT_LT(remote_miss(fast), remote_miss(base));
+  EXPECT_EQ(local_miss(fast), local_miss(base));
+}
+
+TEST(Ablation, BankLatencyMovesBothLevels) {
+  CostModel base;
+  CostModel slow = base;
+  slow.bank_latency = base.bank_latency * 2;
+  EXPECT_GT(local_miss(slow), local_miss(base));
+  EXPECT_GT(remote_miss(slow), remote_miss(base));
+}
+
+TEST(Ablation, SmallerCacheMeansMoreMisses) {
+  CostModel small;
+  small.l1_bytes = 8 * kLineBytes;
+  Machine m(Topology{.nodes = 1}, small);
+  const VAddr va =
+      m.vm().allocate(64 * kLineBytes, MemClass::kNearShared, "w", 0);
+  sim::Time t = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (unsigned k = 0; k < 64; ++k) {
+      t = m.access(0, va + k * kLineBytes, false, t);
+    }
+  }
+  // 64 lines into 8 sets: second pass misses everything again.
+  EXPECT_EQ(m.perf().cpu[0].misses(), 128u);
+}
+
+TEST(Ablation, PurgeIssueCostScalesWriterVisibleCost) {
+  CostModel base;
+  CostModel pricey = base;
+  pricey.sci_purge_issue = base.sci_purge_issue * 20;
+
+  auto upgrade_with_sharers = [](const CostModel& cm) {
+    Machine m(Topology{.nodes = 4}, cm);
+    const VAddr va =
+        m.vm().allocate(kPageBytes, MemClass::kNearShared, "x", 0);
+    sim::Time t = 1000000;
+    t = m.access(0, va, false, t);
+    t = m.access(8, va, false, t);
+    t = m.access(16, va, false, t);
+    t = m.access(24, va, false, t);
+    const sim::Time before = t;
+    t = m.access(0, va, true, t);  // purge 3 remote sharers
+    return t - before;
+  };
+  EXPECT_GT(upgrade_with_sharers(pricey), upgrade_with_sharers(base));
+}
+
+TEST(Ablation, ThreadCreateCostMovesForkJoin) {
+  auto forkjoin = [](const CostModel& cm) {
+    rt::Runtime runtime(Topology{.nodes = 1}, cm);
+    runtime.run([&] {
+      runtime.parallel(8, rt::Placement::kHighLocality,
+                       [](unsigned, unsigned) {});
+    });
+    return runtime.elapsed();
+  };
+  CostModel base;
+  CostModel slow = base;
+  slow.thread_create_local = base.thread_create_local * 3;
+  EXPECT_GT(forkjoin(slow), forkjoin(base));
+}
+
+TEST(Ablation, PvmPageCostOnlyAffectsBigMessages) {
+  auto rtt = [](const CostModel& cm, std::size_t bytes) {
+    rt::Runtime runtime(Topology{.nodes = 1}, cm);
+    sim::Time out = 0;
+    runtime.run([&] {
+      pvm::Pvm vm(runtime);
+      vm.spawn(2, rt::Placement::kHighLocality,
+               [&](pvm::Pvm& vm, int me, int) {
+                 std::vector<double> buf(bytes / 8, 1.0);
+                 if (me == 0) {
+                   pvm::Message m;
+                   m.pack(buf.data(), buf.size());
+                   const sim::Time t0 = runtime.now();
+                   vm.send(1, 1, std::move(m));
+                   vm.recv(1, 2);
+                   out = runtime.now() - t0;
+                 } else {
+                   pvm::Message m = vm.recv(0, 1);
+                   m.tag = 2;
+                   vm.send(0, 2, std::move(m));
+                 }
+               });
+    });
+    return out;
+  };
+  CostModel base;
+  CostModel pricey = base;
+  pricey.pvm_page_cost = base.pvm_page_cost * 4;
+  EXPECT_EQ(rtt(pricey, 1024), rtt(base, 1024));       // < 2 pages: immune
+  EXPECT_GT(rtt(pricey, 64 << 10), rtt(base, 64 << 10));  // 16 pages: pays
+}
+
+TEST(Ablation, UnpackChargesRemoteLineReads) {
+  // The decision-9 mechanism: receiving is cheap, UNPACKING a cross-node
+  // payload costs per-line remote reads.
+  rt::Runtime runtime(Topology{.nodes = 2});
+  sim::Time recv_only = 0, unpack_extra = 0;
+  runtime.run([&] {
+    pvm::Pvm vm(runtime);
+    vm.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+      constexpr std::size_t kDoubles = 4096;  // 32 KB payload
+      if (me == 0) {
+        std::vector<double> buf(kDoubles, 1.5);
+        pvm::Message m;
+        m.pack(buf.data(), buf.size());
+        vm.send(1, 1, std::move(m));
+      } else {
+        const sim::Time t0 = runtime.now();
+        pvm::Message m = vm.recv(0, 1);
+        recv_only = runtime.now() - t0;
+        std::vector<double> out(kDoubles);
+        const sim::Time t1 = runtime.now();
+        m.unpack(out.data(), out.size());
+        unpack_extra = runtime.now() - t1;
+        EXPECT_DOUBLE_EQ(out[17], 1.5);
+      }
+    });
+  });
+  EXPECT_GT(unpack_extra, 5 * recv_only)
+      << "unpacking must dominate the control path for big payloads";
+}
+
+}  // namespace
+}  // namespace spp

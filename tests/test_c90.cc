@@ -1,0 +1,78 @@
+// Tests of the analytic C90 comparator: calibration against the paper's
+// published rates and monotonicity properties of the model.
+#include <gtest/gtest.h>
+
+#include "spp/c90/c90.h"
+
+namespace spp::c90 {
+namespace {
+
+TEST(C90, PicRateMatchesTable1) {
+  C90Model m;
+  // Table 1: 32x32x32 mesh -> 355 Mflop/s; 64x64x32 -> 369 Mflop/s.
+  const double small = m.sustained_mflops(pic_profile(1e9, 32 * 32 * 32));
+  const double large = m.sustained_mflops(pic_profile(1e9, 64 * 64 * 32));
+  EXPECT_NEAR(small, 355.0, 45.0);
+  EXPECT_NEAR(large, 369.0, 45.0);
+  EXPECT_GT(large, small) << "bigger mesh vectorizes better in the model";
+}
+
+TEST(C90, FemRateMatchesSection52) {
+  // Section 5.2.2 claims ~250 useful Mflop/s (293 hpm-measured).
+  C90Model m;
+  const double rate = m.sustained_mflops(fem_profile(1e9));
+  EXPECT_NEAR(rate, 270.0, 50.0);
+}
+
+TEST(C90, TreeCodeRateMatchesSection53) {
+  // Section 5.3.2: vectorized tree code achieves 120 Mflop/s on one head.
+  C90Model m;
+  const double rate = m.sustained_mflops(treecode_profile(1e9));
+  EXPECT_NEAR(rate, 120.0, 30.0);
+}
+
+TEST(C90, Table1TotalTimes) {
+  // Table 1: 112.9 s at 355 Mflop/s implies ~40.1 Gflop for the small run;
+  // check seconds() is consistent with the rate.
+  C90Model m;
+  KernelProfile p = pic_profile(40.1e9, 32 * 32 * 32);
+  const double t = m.seconds(p);
+  EXPECT_NEAR(t, 40.1e9 / (m.sustained_mflops(p) * 1e6), 1e-9);
+  EXPECT_NEAR(t, 112.9, 20.0);
+}
+
+TEST(C90, GatherFractionDegradesRate) {
+  C90Model m;
+  KernelProfile clean{.flops = 1e9, .avg_vector_length = 400,
+                      .gather_fraction = 0.0, .scalar_fraction = 0.0};
+  KernelProfile gathered = clean;
+  gathered.gather_fraction = 0.5;
+  EXPECT_GT(m.sustained_mflops(clean), m.sustained_mflops(gathered));
+}
+
+TEST(C90, ShortVectorsDegradeRate) {
+  C90Model m;
+  KernelProfile longv{.flops = 1e9, .avg_vector_length = 512};
+  KernelProfile shortv = longv;
+  shortv.avg_vector_length = 8;
+  EXPECT_GT(m.sustained_mflops(longv), 2.0 * m.sustained_mflops(shortv));
+}
+
+TEST(C90, ScalarCodeIsMuchSlower) {
+  C90Model m;
+  KernelProfile vec{.flops = 1e9, .avg_vector_length = 400};
+  KernelProfile scalar = vec;
+  scalar.scalar_fraction = 1.0;
+  EXPECT_GT(m.sustained_mflops(vec), 8.0 * m.sustained_mflops(scalar));
+}
+
+TEST(C90, RateBoundedByPeak) {
+  C90Model m;
+  KernelProfile ideal{.flops = 1e9, .avg_vector_length = 1e9,
+                      .gather_fraction = 0.0, .scalar_fraction = 0.0};
+  EXPECT_LE(m.sustained_mflops(ideal), m.peak_mflops);
+  EXPECT_GT(m.sustained_mflops(ideal), 0.5 * m.peak_mflops);
+}
+
+}  // namespace
+}  // namespace spp::c90

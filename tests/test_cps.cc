@@ -1,0 +1,88 @@
+// Tests for the CPSlib-style veneer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spp/rt/cps.h"
+
+namespace spp::cps {
+namespace {
+
+using arch::Topology;
+
+TEST(Cps, TopologyQueries) {
+  rt::Runtime rt(Topology{.nodes = 2});
+  EXPECT_EQ(cps_complex_nodes(rt), 2u);
+  EXPECT_EQ(cps_complex_ncpus(rt), 16u);
+}
+
+TEST(Cps, PpcallRunsAllThreads) {
+  rt::Runtime rt(Topology{.nodes = 2});
+  std::vector<int> hits(16, 0);
+  rt.run([&] {
+    cps_ppcall(rt, 16, [&](unsigned tid) { hits[tid]++; },
+               rt::Placement::kUniform);
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Cps, AsyncCallAndJoin) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  int done = 0;
+  rt.run([&] {
+    auto g = cps_ppcall_async(rt, 4, [&](unsigned) { ++done; });
+    cps_join(rt, g);
+    EXPECT_EQ(done, 4);
+  });
+}
+
+TEST(Cps, BarrierAndMutexCompose) {
+  rt::Runtime rt(Topology{.nodes = 2});
+  long counter = 0;
+  rt.run([&] {
+    cps_barrier_t bar(rt, 8);
+    cps_mutex_t mtx(rt);
+    cps_ppcall(rt, 8, [&](unsigned) {
+      bar.wait();
+      mtx.lock();
+      ++counter;
+      mtx.unlock();
+      bar.wait();
+    }, rt::Placement::kUniform);
+  });
+  EXPECT_EQ(counter, 8);
+}
+
+TEST(Cps, SemaphoreSignalling) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  std::vector<int> order;
+  rt.run([&] {
+    cps_sema_t ready(rt, 0);
+    auto consumer = cps_ppcall_async(rt, 1, [&](unsigned) {
+      ready.wait();
+      order.push_back(2);
+    });
+    cps_ppcall(rt, 1, [&](unsigned) {
+      order.push_back(1);
+      ready.post();
+    });
+    cps_join(rt, consumer);
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Cps, StimeAdvances) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  rt.run([&] {
+    cps_ppcall(rt, 1, [&](unsigned) {
+      const sim::Time t0 = cps_stime(rt);
+      rt.work_flops(3500);
+      EXPECT_EQ(cps_stime(rt) - t0, sim::cycles(10000));
+    });
+  });
+}
+
+}  // namespace
+}  // namespace spp::cps

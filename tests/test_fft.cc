@@ -1,0 +1,149 @@
+// FFT property tests: inverse identity, agreement with the naive DFT,
+// Parseval's theorem, linearity, delta/constant transforms, 3D round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "spp/fft/fft.h"
+#include "spp/sim/rng.h"
+
+namespace spp::fft {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+double max_err(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double e = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) e = std::max(e, std::abs(a[i] - b[i]));
+  return e;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  auto v = random_signal(n, n);
+  const auto orig = v;
+  forward(v);
+  inverse(v);
+  EXPECT_LT(max_err(v, orig), 1e-12 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  if (n > 256) GTEST_SKIP() << "naive DFT too slow";
+  auto v = random_signal(n, 3 * n + 1);
+  const auto expect = naive_dft(v, -1);
+  forward(v);
+  EXPECT_LT(max_err(v, expect), 1e-10 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, Parseval) {
+  const std::size_t n = GetParam();
+  auto v = random_signal(n, 7 * n + 5);
+  double time_energy = 0;
+  for (const auto& c : v) time_energy += std::norm(c);
+  forward(v);
+  double freq_energy = 0;
+  for (const auto& c : v) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u, 64u,
+                                           128u, 256u, 1024u, 4096u));
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Complex> v(16, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  forward(v);
+  for (const auto& c : v) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDelta) {
+  std::vector<Complex> v(32, Complex(2.0, 0));
+  forward(v);
+  EXPECT_NEAR(v[0].real(), 64.0, 1e-10);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, Linearity) {
+  auto a = random_signal(64, 1);
+  auto b = random_signal(64, 2);
+  std::vector<Complex> sum(64);
+  for (int i = 0; i < 64; ++i) sum[i] = 3.0 * a[i] + b[i];
+  forward(a);
+  forward(b);
+  forward(sum);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_LT(std::abs(sum[i] - (3.0 * a[i] + b[i])), 1e-10);
+  }
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<Complex> v(12);
+  EXPECT_THROW(transform(v.data(), v.size(), 1, -1), std::invalid_argument);
+}
+
+TEST(Fft, StridedTransformMatchesContiguous) {
+  auto v = random_signal(32, 9);
+  // Embed with stride 3.
+  std::vector<Complex> strided(32 * 3, Complex(42, 42));
+  for (int i = 0; i < 32; ++i) strided[i * 3] = v[i];
+  forward(v);
+  transform(strided.data(), 32, 3, -1);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_LT(std::abs(strided[i * 3] - v[i]), 1e-10);
+    // Gaps untouched.
+    EXPECT_EQ(strided[i * 3 + 1], Complex(42, 42));
+  }
+}
+
+TEST(Fft3D, RoundTrip) {
+  const std::size_t nx = 8, ny = 4, nz = 16;
+  auto v = random_signal(nx * ny * nz, 17);
+  const auto orig = v;
+  transform_3d(v.data(), nx, ny, nz, -1);
+  transform_3d(v.data(), nx, ny, nz, +1);
+  EXPECT_LT(max_err(v, orig), 1e-10);
+}
+
+TEST(Fft3D, SolvesPoissonForPlaneWave) {
+  // -lap(phi) = rho with rho a single Fourier mode: the 3D transform of rho
+  // must be concentrated in that mode.
+  const std::size_t n = 16;
+  std::vector<Complex> rho(n * n * n);
+  const double kx = 2.0 * 3.14159265358979324 * 3.0 / static_cast<double>(n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x)
+        rho[(z * n + y) * n + x] = Complex(std::cos(kx * x), 0.0);
+  transform_3d(rho.data(), n, n, n, -1);
+  // Energy should be in (kx=3) and (kx=n-3) modes only.
+  double total = 0, captured = 0;
+  for (std::size_t i = 0; i < rho.size(); ++i) total += std::norm(rho[i]);
+  captured += std::norm(rho[3]);
+  captured += std::norm(rho[n - 3]);
+  EXPECT_GT(captured / total, 0.999);
+}
+
+TEST(Fft, FlopCountFormula) {
+  EXPECT_DOUBLE_EQ(flops_1d(1024), 5.0 * 1024 * 10);
+  EXPECT_DOUBLE_EQ(flops_3d(8, 8, 8), 3 * 64 * flops_1d(8));
+}
+
+}  // namespace
+}  // namespace spp::fft

@@ -1,0 +1,89 @@
+// GlobalArray placement and accounting tests across all memory classes.
+#include <gtest/gtest.h>
+
+#include "spp/rt/garray.h"
+#include "spp/rt/runtime.h"
+
+namespace spp::rt {
+namespace {
+
+using arch::MemClass;
+using arch::Topology;
+
+TEST(GArray, BlockSharedSlabsLandOnIntendedNodes) {
+  Runtime rt(Topology{.nodes = 2});
+  // 4 blocks of one page each: blocks 0,2 -> node 0; blocks 1,3 -> node 1.
+  GlobalArray<double> a(rt, 4 * 512, MemClass::kBlockShared, "bs", 0,
+                        arch::kPageBytes);
+  const auto& vm = rt.machine().vm();
+  for (unsigned b = 0; b < 4; ++b) {
+    const auto pa = vm.translate(a.vaddr(b * 512), 0);
+    EXPECT_EQ(rt.topo().node_of_fu(arch::home_fu_of(pa)), b % 2) << "block " << b;
+  }
+}
+
+TEST(GArray, TouchRangeChargesLineGranular) {
+  Runtime rt(Topology{.nodes = 1});
+  GlobalArray<double> a(rt, 1024, MemClass::kNearShared, "t");
+  rt.run([&] {
+    rt.parallel(1, Placement::kHighLocality, [&](unsigned, unsigned) {
+      a.touch_range(0, 512, false);  // 512 doubles = 128 lines
+    });
+  });
+  EXPECT_EQ(rt.machine().perf().cpu[0].loads, 128u);
+}
+
+TEST(GArray, WideElementsChargeMultipleLines) {
+  struct Wide {
+    double v[16];  // 128 bytes = 4 lines
+  };
+  Runtime rt(Topology{.nodes = 1});
+  GlobalArray<Wide> a(rt, 8, MemClass::kNearShared, "w");
+  rt.run([&] {
+    rt.parallel(1, Placement::kHighLocality, [&](unsigned, unsigned) {
+      Wide w{};
+      a.write(0, w);
+    });
+  });
+  EXPECT_EQ(rt.machine().perf().cpu[0].stores, 4u);
+}
+
+TEST(GArray, InstancesMatchClass) {
+  Runtime rt(Topology{.nodes = 2});
+  GlobalArray<int> tp(rt, 4, MemClass::kThreadPrivate, "tp");
+  GlobalArray<int> np(rt, 4, MemClass::kNodePrivate, "np");
+  GlobalArray<int> fs(rt, 4, MemClass::kFarShared, "fs");
+  EXPECT_EQ(tp.instances(), 16u);
+  EXPECT_EQ(np.instances(), 2u);
+  EXPECT_EQ(fs.instances(), 1u);
+}
+
+TEST(GArray, RawInstanceAddressesPrivateCopies) {
+  Runtime rt(Topology{.nodes = 2});
+  GlobalArray<int> np(rt, 2, MemClass::kNodePrivate, "np");
+  rt.run([&] {
+    rt.parallel(2, Placement::kUniform, [&](unsigned i, unsigned) {
+      np.write(0, 100 + static_cast<int>(i));  // thread i -> node i
+    });
+  });
+  EXPECT_EQ(np.raw_instance(0, 0), 100);
+  EXPECT_EQ(np.raw_instance(1, 0), 101);
+}
+
+TEST(GArray, SequentialSweepMostlyHitsAfterWarmup) {
+  Runtime rt(Topology{.nodes = 1});
+  GlobalArray<double> a(rt, 4096, MemClass::kFarShared, "warm");
+  rt.run([&] {
+    rt.parallel(1, Placement::kHighLocality, [&](unsigned, unsigned) {
+      for (std::size_t i = 0; i < a.size(); ++i) a.write(i, 1.0);
+      const auto misses_cold = rt.machine().perf().cpu[0].misses();
+      for (std::size_t i = 0; i < a.size(); ++i) a.accumulate(i, 1.0);
+      EXPECT_EQ(rt.machine().perf().cpu[0].misses(), misses_cold)
+          << "warm sweep must not miss";
+    });
+  });
+  EXPECT_DOUBLE_EQ(a.raw(7), 2.0);
+}
+
+}  // namespace
+}  // namespace spp::rt

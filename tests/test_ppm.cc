@@ -1,0 +1,339 @@
+// PPM hydrodynamics tests: Riemann solvers against analytic solutions, Sod
+// shock tube accuracy, conservation, positivity, tiling invariance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spp/apps/ppm/ppm.h"
+#include "spp/apps/ppm/riemann.h"
+
+namespace spp::ppm {
+namespace {
+
+using arch::Topology;
+using rt::Placement;
+
+constexpr double kGamma = 1.4;
+
+TEST(Riemann, SymmetricProblemHasZeroContactVelocity) {
+  const State l{1.0, 0.5, 1.0};
+  const State r{1.0, -0.5, 1.0};
+  const StarState ts = two_shock_star(l, r, kGamma);
+  EXPECT_NEAR(ts.u, 0.0, 1e-12);
+  EXPECT_GT(ts.p, 1.0);  // colliding flows compress
+  const StarState ex = exact_star(l, r, kGamma);
+  EXPECT_NEAR(ex.u, 0.0, 1e-12);
+}
+
+TEST(Riemann, SodStarStateMatchesKnownValues) {
+  // Classic Sod problem: p* = 0.30313, u* = 0.92745 (Toro, Table 4.2).
+  const State l{1.0, 0.0, 1.0};
+  const State r{0.125, 0.0, 0.1};
+  const StarState ex = exact_star(l, r, kGamma);
+  EXPECT_NEAR(ex.p, 0.30313, 2e-4);
+  EXPECT_NEAR(ex.u, 0.92745, 2e-4);
+  // The two-shock approximation lands close for this mildly-rarefying case.
+  const StarState ts = two_shock_star(l, r, kGamma);
+  EXPECT_NEAR(ts.p, ex.p, 0.03);
+  EXPECT_NEAR(ts.u, ex.u, 0.05);
+}
+
+TEST(Riemann, TwoShockAgreesExactlyForPureShocks) {
+  // Strong compression: both waves are shocks, so two-shock IS exact.
+  const State l{1.0, 2.0, 1.0};
+  const State r{1.0, -2.0, 1.0};
+  const StarState ts = two_shock_star(l, r, kGamma);
+  const StarState ex = exact_star(l, r, kGamma);
+  EXPECT_NEAR(ts.p, ex.p, 1e-9);
+  EXPECT_NEAR(ts.u, ex.u, 1e-9);
+}
+
+TEST(Riemann, SampleRecoversInputsFarFromFan) {
+  const State l{1.0, 0.0, 1.0};
+  const State r{0.125, 0.0, 0.1};
+  const State far_l = exact_sample(l, r, kGamma, -100.0);
+  const State far_r = exact_sample(l, r, kGamma, +100.0);
+  EXPECT_DOUBLE_EQ(far_l.rho, l.rho);
+  EXPECT_DOUBLE_EQ(far_r.p, r.p);
+}
+
+TEST(Riemann, GodunovFluxUpwindsTransverseVelocity) {
+  // Contact moving right: transverse momentum flux must take the LEFT
+  // transverse velocity.
+  const State l{1.0, 1.0, 1.0};
+  const State r{1.0, 1.0, 1.0};
+  const auto f = godunov_flux(l, r, 5.0, -7.0, kGamma);
+  EXPECT_NEAR(f[2], 1.0 * 1.0 * 5.0, 1e-9);
+}
+
+TEST(Riemann, FluxConsistency) {
+  // Identical states: flux equals the analytic Euler flux of that state.
+  const State s{2.0, 0.7, 1.3};
+  const auto f = godunov_flux(s, s, 0.3, 0.3, kGamma);
+  const double e = s.p / (kGamma - 1.0) + 0.5 * s.rho * (s.u * s.u + 0.09);
+  EXPECT_NEAR(f[0], s.rho * s.u, 1e-9);
+  EXPECT_NEAR(f[1], s.rho * s.u * s.u + s.p, 1e-9);
+  EXPECT_NEAR(f[2], s.rho * s.u * 0.3, 1e-9);
+  EXPECT_NEAR(f[3], (e + s.p) * s.u, 1e-9);
+}
+
+TEST(PpmRun, SodTubeMatchesExactSolution) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  PpmConfig cfg;
+  cfg.nx = 128;
+  cfg.ny = 8;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 1;
+  cfg.bc = Boundary::kOutflow;
+  cfg.steps = 40;
+  cfg.cfl = 0.4;
+  PpmTiled ppm(rt, cfg, 2, Placement::kHighLocality);
+  ppm.init_sod_x();
+  PpmResult res;
+  rt.run([&] { res = ppm.run(); });
+
+  // Evolved time: sum of dt's is not tracked; reconstruct from the wave
+  // positions instead -- use the contact: find where rho crosses the
+  // midpoint of the two star densities, infer t, then L1-compare.
+  // Simpler robust check: compare against the exact profile at the best-fit
+  // time over a small scan.
+  const State l{1.0, 0.0, 1.0};
+  const State r{0.125, 0.0, 0.1};
+  double best_err = 1e300;
+  for (double t = 5.0; t <= 40.0; t += 0.5) {
+    double err = 0;
+    for (std::size_t i = 8; i < cfg.nx - 8; ++i) {
+      const double x = (static_cast<double>(i) + 0.5) -
+                       static_cast<double>(cfg.nx) / 2.0;
+      const State ex = exact_sample(l, r, kGamma, x / t);
+      err += std::abs(ppm.zone(i, 4)[0] - ex.rho);
+    }
+    best_err = std::min(best_err, err / static_cast<double>(cfg.nx - 16));
+  }
+  EXPECT_LT(best_err, 0.015)
+      << "Sod density profile should match the exact solution (L1)";
+}
+
+TEST(PpmRun, PeriodicBlastConservesTotals) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  PpmConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 2;
+  cfg.steps = 8;
+  PpmTiled ppm(rt, cfg, 4, Placement::kHighLocality);
+  ppm.init_blast(3.0, 4.0);
+  PpmResult res;
+  rt.run([&] { res = ppm.run(); });
+  EXPECT_NEAR(res.final.mass / res.initial.mass, 1.0, 1e-11);
+  EXPECT_NEAR(res.final.energy / res.initial.energy, 1.0, 1e-11);
+  EXPECT_NEAR(res.final.mom_x, res.initial.mom_x, 1e-8);
+  EXPECT_NEAR(res.final.mom_y, res.initial.mom_y, 1e-8);
+}
+
+TEST(PpmRun, BlastStaysPositive) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  PpmConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 2;
+  cfg.steps = 12;
+  PpmTiled ppm(rt, cfg, 4, Placement::kHighLocality);
+  ppm.init_blast(10.0, 3.0);
+  PpmResult res;
+  rt.run([&] { res = ppm.run(); });
+  EXPECT_GT(res.final.min_rho, 0.0);
+  EXPECT_GT(res.final.min_p, 0.0);
+}
+
+TEST(PpmRun, TilingDoesNotChangePhysics) {
+  struct Sampled {
+    PpmDiagnostics diag;
+    std::array<std::array<double, 4>, 4> zones;
+  };
+  auto once = [](unsigned tx, unsigned ty, unsigned nprocs) {
+    rt::Runtime rt(Topology{.nodes = 2});
+    PpmConfig cfg;
+    cfg.nx = 32;
+    cfg.ny = 32;
+    cfg.tiles_x = tx;
+    cfg.tiles_y = ty;
+    cfg.steps = 6;
+    PpmTiled ppm(rt, cfg, nprocs, Placement::kUniform);
+    ppm.init_blast(3.0, 4.0);
+    PpmResult res;
+    rt.run([&] { res = ppm.run(); });
+    Sampled s;
+    s.diag = res.final;
+    s.zones = {ppm.zone(5, 7), ppm.zone(16, 16), ppm.zone(0, 31),
+               ppm.zone(30, 2)};
+    return s;
+  };
+  const auto a = once(1, 1, 1);
+  const auto b = once(4, 4, 8);
+  // Every zone sees the same global stencil data regardless of the tiling,
+  // so per-zone values are bitwise identical.
+  for (int z = 0; z < 4; ++z) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(a.zones[z][c], b.zones[z][c]) << "zone " << z << " comp " << c;
+    }
+  }
+  // Totals differ only in summation order (diagnostics sum tile by tile).
+  EXPECT_NEAR(a.diag.mass / b.diag.mass, 1.0, 1e-13);
+  EXPECT_NEAR(a.diag.energy / b.diag.energy, 1.0, 1e-13);
+  EXPECT_EQ(a.diag.min_p, b.diag.min_p);
+}
+
+TEST(PpmRun, UniformFlowIsExactlyPreserved) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  PpmConfig cfg;
+  cfg.nx = 24;
+  cfg.ny = 24;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 2;
+  cfg.steps = 5;
+  PpmTiled ppm(rt, cfg, 2, Placement::kHighLocality);
+  ppm.init_uniform(1.0, 0.3, -0.1, 2.0);
+  PpmResult res;
+  rt.run([&] { res = ppm.run(); });
+  const auto z = ppm.zone(11, 13);
+  EXPECT_NEAR(z[0], 1.0, 1e-12);
+  EXPECT_NEAR(z[1], 0.3, 1e-12);
+  EXPECT_NEAR(z[2], -0.1, 1e-12);
+}
+
+TEST(PpmRun, MoreTilesAreSlower) {
+  // Table 2: 12x48 tiling is consistently slower than 4x16 at equal
+  // processor counts (more frame overhead per zone).
+  auto timed = [](unsigned tx, unsigned ty) {
+    rt::Runtime rt(Topology{.nodes = 1});
+    PpmConfig cfg;
+    cfg.nx = 48;
+    cfg.ny = 96;
+    cfg.tiles_x = tx;
+    cfg.tiles_y = ty;
+    cfg.steps = 2;
+    PpmTiled ppm(rt, cfg, 4, Placement::kHighLocality);
+    ppm.init_blast(2.0, 6.0);
+    PpmResult res;
+    rt.run([&] { res = ppm.run(); });
+    return res.sim_time;
+  };
+  EXPECT_GT(timed(4, 12), timed(2, 4));
+}
+
+TEST(PpmRun, ScalesWithinHypernode) {
+  auto timed = [](unsigned nprocs) {
+    rt::Runtime rt(Topology{.nodes = 1});
+    PpmConfig cfg;
+    cfg.nx = 48;
+    cfg.ny = 96;
+    cfg.tiles_x = 2;
+    cfg.tiles_y = 8;
+    cfg.steps = 2;
+    PpmTiled ppm(rt, cfg, nprocs, Placement::kHighLocality);
+    ppm.init_blast(2.0, 6.0);
+    PpmResult res;
+    rt.run([&] { res = ppm.run(); });
+    return res.sim_time;
+  };
+  const sim::Time t1 = timed(1);
+  const sim::Time t8 = timed(8);
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t8), 4.5)
+      << "Table 2 shows near-linear scaling to 8 processors";
+}
+
+TEST(PpmMultifluid, SpeciesMassConservedAndPartialsSumToDensity) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  PpmConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 8;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 1;
+  cfg.nspecies = 2;
+  cfg.steps = 10;
+  PpmTiled ppm(rt, cfg, 4, Placement::kHighLocality);
+  ppm.init_two_fluid(1.0, 0.5, 1.0);
+  const double m0 = ppm.species_mass(0);
+  const double m1 = ppm.species_mass(1);
+  PpmResult res;
+  rt.run([&] { res = ppm.run(); });
+  // Consistent-advection renormalization allows tiny per-species drift near
+  // the interface; aggregate and per-species masses stay within 1e-3.
+  EXPECT_NEAR(ppm.species_mass(0) / m0, 1.0, 1e-3);
+  EXPECT_NEAR(ppm.species_mass(1) / m1, 1.0, 1e-3);
+  // Partial densities sum to the total density everywhere.
+  for (std::size_t i = 0; i < cfg.nx; i += 5) {
+    const double rho = ppm.zone(i, 4)[0];
+    const double sum = ppm.species(i, 4, 0) + ppm.species(i, 4, 1);
+    ASSERT_NEAR(sum / rho, 1.0, 1e-10) << "zone " << i;
+  }
+}
+
+TEST(PpmMultifluid, ContactAdvectsWithTheFlow) {
+  // Uniform rightward flow: the fluid interface (initially at nx/2) must
+  // move right at speed ux while the hydrodynamic state stays uniform.
+  rt::Runtime rt(Topology{.nodes = 1});
+  PpmConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 8;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 1;
+  cfg.nspecies = 2;
+  cfg.steps = 12;
+  cfg.cfl = 0.4;
+  PpmTiled ppm(rt, cfg, 2, Placement::kHighLocality);
+  ppm.init_two_fluid(1.0, 0.8, 1.0);
+  PpmResult res;
+  rt.run([&] { res = ppm.run(); });
+  // Hydro state untouched by the passive interface.
+  const auto z = ppm.zone(20, 4);
+  EXPECT_NEAR(z[0], 1.0, 1e-10);
+  EXPECT_NEAR(z[1], 0.8, 1e-10);
+  // Interface moved right: find where the fluid-0 fraction crosses 0.5.
+  std::size_t cross = 0;
+  for (std::size_t i = 4; i < cfg.nx - 4; ++i) {
+    if (ppm.species(i, 4, 0) / ppm.zone(i, 4)[0] < 0.5) {
+      cross = i;
+      break;
+    }
+  }
+  // 12 steps at dt ~ cfl/(u+c) ~ 0.2 and u = 0.8: ~2 cells of motion.
+  EXPECT_GT(cross, cfg.nx / 2);
+  EXPECT_LE(cross, cfg.nx / 2 + 5);
+  // Far upstream and downstream stay pure.
+  EXPECT_NEAR(ppm.species(4, 4, 0), 1.0, 1e-9);
+  EXPECT_NEAR(ppm.species(cfg.nx - 5, 4, 1), 1.0, 1e-9);
+}
+
+TEST(PpmMultifluid, SpeciesSurviveAShock) {
+  // Sod-like problem with two tagged fluids: species stay bounded, sum to
+  // the density, and conserve mass through shock passage.
+  rt::Runtime rt(Topology{.nodes = 1});
+  PpmConfig cfg;
+  cfg.nx = 96;
+  cfg.ny = 8;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 1;
+  cfg.nspecies = 2;
+  cfg.bc = Boundary::kOutflow;
+  cfg.steps = 20;
+  PpmTiled ppm(rt, cfg, 4, Placement::kHighLocality);
+  ppm.init_sod_x();
+  ppm.tag_two_fluids();  // tag the two halves of the Sod state
+  PpmResult res;
+  rt.run([&] { res = ppm.run(); });
+  for (std::size_t i = 4; i < cfg.nx - 4; i += 7) {
+    const double rho = ppm.zone(i, 4)[0];
+    const double s0 = ppm.species(i, 4, 0);
+    const double s1 = ppm.species(i, 4, 1);
+    ASSERT_GE(s0, -1e-10);
+    ASSERT_GE(s1, -1e-10);
+    ASSERT_NEAR((s0 + s1) / rho, 1.0, 1e-9) << "zone " << i;
+  }
+}
+
+}  // namespace
+}  // namespace spp::ppm

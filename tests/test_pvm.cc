@@ -1,0 +1,208 @@
+// Tests of the ConvexPVM subset: pack/unpack, delivery, ordering, blocking
+// receive, wildcard matching, and the local-vs-global cost structure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spp/pvm/pvm.h"
+#include "spp/rt/runtime.h"
+
+namespace spp::pvm {
+namespace {
+
+using arch::Topology;
+using rt::Placement;
+
+TEST(PvmMessage, PackUnpackRoundTripTypes) {
+  Message m;
+  const double d[3] = {1.5, -2.25, 1e300};
+  const std::int32_t i[2] = {-7, 42};
+  const char s[5] = "abcd";
+  m.pack(d, 3);
+  m.pack(i, 2);
+  m.pack(s, 5);
+  double d2[3];
+  std::int32_t i2[2];
+  char s2[5];
+  m.unpack(d2, 3);
+  m.unpack(i2, 2);
+  m.unpack(s2, 5);
+  EXPECT_EQ(d2[0], 1.5);
+  EXPECT_EQ(d2[2], 1e300);
+  EXPECT_EQ(i2[0], -7);
+  EXPECT_STREQ(s2, "abcd");
+  EXPECT_EQ(m.remaining(), 0u);
+}
+
+TEST(PvmMessage, UnpackPastEndThrows) {
+  Message m;
+  const int x = 1;
+  m.pack(&x, 1);
+  int y[2];
+  EXPECT_THROW(m.unpack(y, 2), std::out_of_range);
+}
+
+TEST(Pvm, PingPong) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  double received = 0;
+  rt.run([&] {
+    Pvm vm(rt);
+    vm.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
+      if (me == 0) {
+        Message m;
+        const double payload = 3.25;
+        m.pack(&payload, 1);
+        vm.send(1, 10, std::move(m));
+        Message r = vm.recv(1, 11);
+        r.unpack(&received, 1);
+      } else {
+        Message m = vm.recv(0, 10);
+        double x;
+        m.unpack(&x, 1);
+        Message reply;
+        x *= 2;
+        reply.pack(&x, 1);
+        vm.send(0, 11, std::move(reply));
+      }
+    });
+  });
+  EXPECT_DOUBLE_EQ(received, 6.5);
+}
+
+TEST(Pvm, OrderingPerSenderPreserved) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  std::vector<int> order;
+  rt.run([&] {
+    Pvm vm(rt);
+    vm.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
+      if (me == 0) {
+        for (int k = 0; k < 5; ++k) {
+          Message m;
+          m.pack(&k, 1);
+          vm.send(1, 1, std::move(m));
+        }
+      } else {
+        for (int k = 0; k < 5; ++k) {
+          Message m = vm.recv(0, 1);
+          int v;
+          m.unpack(&v, 1);
+          order.push_back(v);
+        }
+      }
+    });
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Pvm, WildcardReceive) {
+  rt::Runtime rt(Topology{.nodes = 2});
+  int sum = 0;
+  rt.run([&] {
+    Pvm vm(rt);
+    vm.spawn(4, Placement::kUniform, [&](Pvm& vm, int me, int n) {
+      if (me == 0) {
+        for (int k = 0; k < n - 1; ++k) {
+          Message m = vm.recv(-1, -1);
+          int v;
+          m.unpack(&v, 1);
+          sum += v;
+        }
+      } else {
+        Message m;
+        m.pack(&me, 1);
+        vm.send(0, me, std::move(m));
+      }
+    });
+  });
+  EXPECT_EQ(sum, 1 + 2 + 3);
+}
+
+TEST(Pvm, TagFilteringLeavesOthersQueued) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  std::vector<int> tags;
+  rt.run([&] {
+    Pvm vm(rt);
+    vm.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
+      if (me == 0) {
+        for (int tag : {5, 9, 5}) {
+          Message m;
+          m.pack(&tag, 1);
+          vm.send(1, tag, std::move(m));
+        }
+      } else {
+        // Receive the tag-9 message first even though tag-5 arrived earlier.
+        Message m9 = vm.recv(0, 9);
+        tags.push_back(m9.tag);
+        EXPECT_TRUE(vm.probe(0, 5));
+        tags.push_back(vm.recv(0, 5).tag);
+        tags.push_back(vm.recv(0, 5).tag);
+      }
+    });
+  });
+  EXPECT_EQ(tags, (std::vector<int>{9, 5, 5}));
+}
+
+// The core of Figure 4: round-trip time, local vs cross-hypernode.
+sim::Time round_trip(unsigned nodes, Placement placement, std::size_t bytes) {
+  rt::Runtime rt(Topology{.nodes = nodes});
+  sim::Time rtt = 0;
+  rt.run([&] {
+    Pvm vm(rt);
+    vm.spawn(2, placement, [&](Pvm& vm, int me, int) {
+      std::vector<double> buf(bytes / 8, 1.0);
+      if (me == 0) {
+        // Warm-up exchange.
+        Message w;
+        w.pack(buf.data(), buf.size());
+        vm.send(1, 0, std::move(w));
+        vm.recv(1, 0);
+        const sim::Time t0 = rt.now();
+        Message m;
+        m.pack(buf.data(), buf.size());
+        vm.send(1, 1, std::move(m));
+        vm.recv(1, 1);
+        rtt = rt.now() - t0;
+      } else {
+        Message w = vm.recv(0, 0);
+        Message wr;
+        wr.pack(buf.data(), buf.size());
+        vm.send(0, 0, std::move(wr));
+        Message m = vm.recv(0, 1);
+        Message reply;
+        reply.pack(buf.data(), buf.size());
+        vm.send(0, 1, std::move(reply));
+      }
+    });
+  });
+  return rtt;
+}
+
+TEST(PvmCosts, LocalRoundTripNear30us) {
+  const sim::Time rtt = round_trip(1, Placement::kHighLocality, 1024);
+  EXPECT_GT(rtt, 20 * sim::kMicrosecond);
+  EXPECT_LT(rtt, 45 * sim::kMicrosecond);
+}
+
+TEST(PvmCosts, GlobalRoundTripNear70usAndRatioNear2_3) {
+  const sim::Time local = round_trip(1, Placement::kHighLocality, 1024);
+  const sim::Time global = round_trip(2, Placement::kUniform, 1024);
+  EXPECT_GT(global, 50 * sim::kMicrosecond);
+  EXPECT_LT(global, 95 * sim::kMicrosecond);
+  const double ratio =
+      static_cast<double>(global) / static_cast<double>(local);
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 3.2);
+}
+
+TEST(PvmCosts, FlatBelow8KThenPageGrowth) {
+  const sim::Time t1k = round_trip(2, Placement::kUniform, 1 << 10);
+  const sim::Time t8k = round_trip(2, Placement::kUniform, 8 << 10);
+  const sim::Time t32k = round_trip(2, Placement::kUniform, 32 << 10);
+  // Below 8 KB: near-flat (within 40%).
+  EXPECT_LT(static_cast<double>(t8k) / static_cast<double>(t1k), 1.6);
+  // 32 KB pays the per-page regime: clearly superlinear versus 8 KB.
+  EXPECT_GT(static_cast<double>(t32k) / static_cast<double>(t8k), 2.0);
+}
+
+}  // namespace
+}  // namespace spp::pvm

@@ -1,0 +1,105 @@
+// Property tests of the Riemann solvers over randomized states: physical
+// star states, consistency between the two-shock and exact solvers in their
+// shared regime, Rankine-Hugoniot consistency of the Godunov flux, and
+// sampling sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spp/apps/ppm/riemann.h"
+#include "spp/sim/rng.h"
+
+namespace spp::ppm {
+namespace {
+
+constexpr double kGamma = 1.4;
+
+State random_state(sim::Rng& rng, bool calm) {
+  State s;
+  s.rho = rng.uniform(0.1, 4.0);
+  s.u = calm ? rng.uniform(-0.5, 0.5) : rng.uniform(-3.0, 3.0);
+  s.p = rng.uniform(0.05, 5.0);
+  return s;
+}
+
+class RiemannRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RiemannRandom, StarStatesArePhysical) {
+  sim::Rng rng(GetParam());
+  for (int k = 0; k < 200; ++k) {
+    const State l = random_state(rng, false);
+    const State r = random_state(rng, false);
+    const StarState ts = two_shock_star(l, r, kGamma);
+    const StarState ex = exact_star(l, r, kGamma);
+    EXPECT_GT(ts.p, 0.0);
+    EXPECT_GT(ex.p, 0.0);
+    EXPECT_TRUE(std::isfinite(ts.u));
+    EXPECT_TRUE(std::isfinite(ex.u));
+  }
+}
+
+TEST_P(RiemannRandom, TwoShockMatchesExactForCompressiveProblems) {
+  sim::Rng rng(GetParam() + 100);
+  for (int k = 0; k < 100; ++k) {
+    State l = random_state(rng, true);
+    State r = random_state(rng, true);
+    // Force both waves to be shocks: strong approach velocity.
+    l.u = std::abs(l.u) + 1.5;
+    r.u = -std::abs(r.u) - 1.5;
+    const StarState ts = two_shock_star(l, r, kGamma);
+    const StarState ex = exact_star(l, r, kGamma);
+    ASSERT_GT(ex.p, l.p);  // both sides shocked
+    ASSERT_GT(ex.p, r.p);
+    EXPECT_NEAR(ts.p / ex.p, 1.0, 1e-6);
+    EXPECT_NEAR(ts.u, ex.u, 1e-6 * (1 + std::abs(ex.u)));
+  }
+}
+
+TEST_P(RiemannRandom, ExactSampleIsContinuousAcrossContact) {
+  sim::Rng rng(GetParam() + 200);
+  for (int k = 0; k < 50; ++k) {
+    const State l = random_state(rng, true);
+    const State r = random_state(rng, true);
+    const StarState ex = exact_star(l, r, kGamma);
+    // Pressure and velocity are continuous across the contact.
+    const State just_left = exact_sample(l, r, kGamma, ex.u - 1e-9);
+    const State just_right = exact_sample(l, r, kGamma, ex.u + 1e-9);
+    EXPECT_NEAR(just_left.p, just_right.p, 1e-6 * just_left.p);
+    EXPECT_NEAR(just_left.u, just_right.u, 1e-6 * (1 + std::abs(ex.u)));
+  }
+}
+
+TEST_P(RiemannRandom, GodunovFluxIsConsistent) {
+  // F(s, s) must equal the analytic flux of s for random states.
+  sim::Rng rng(GetParam() + 300);
+  for (int k = 0; k < 100; ++k) {
+    const State s = random_state(rng, false);
+    const double vt = rng.uniform(-1, 1);
+    const auto f = godunov_flux(s, s, vt, vt, kGamma);
+    const double e =
+        s.p / (kGamma - 1.0) + 0.5 * s.rho * (s.u * s.u + vt * vt);
+    EXPECT_NEAR(f[0], s.rho * s.u, 1e-8 * (1 + std::abs(s.rho * s.u)));
+    EXPECT_NEAR(f[1], s.rho * s.u * s.u + s.p, 1e-8 * (1 + f[1]));
+    EXPECT_NEAR(f[3], (e + s.p) * s.u, 1e-7 * (1 + std::abs(f[3])));
+  }
+}
+
+TEST_P(RiemannRandom, SymmetryMirrorsCorrectly) {
+  // Mirroring left/right and negating velocities must negate u*.
+  sim::Rng rng(GetParam() + 400);
+  for (int k = 0; k < 100; ++k) {
+    const State l = random_state(rng, false);
+    const State r = random_state(rng, false);
+    const StarState fwd = exact_star(l, r, kGamma);
+    const State lm{r.rho, -r.u, r.p};
+    const State rm{l.rho, -l.u, l.p};
+    const StarState mir = exact_star(lm, rm, kGamma);
+    EXPECT_NEAR(fwd.p, mir.p, 1e-9 * (1 + fwd.p));
+    EXPECT_NEAR(fwd.u, -mir.u, 1e-9 * (1 + std::abs(fwd.u)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiemannRandom, ::testing::Values(1u, 7u, 42u));
+
+}  // namespace
+}  // namespace spp::ppm

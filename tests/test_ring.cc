@@ -1,0 +1,70 @@
+// Tests of the SCI ring fabric: hop counts, latency accumulation, link
+// contention, and packet accounting.
+#include <gtest/gtest.h>
+
+#include "spp/arch/cost_model.h"
+#include "spp/arch/topology.h"
+#include "spp/sci/ring.h"
+
+namespace spp::sci {
+namespace {
+
+using arch::CostModel;
+using arch::Topology;
+
+TEST(Ring, ZeroHopsIsFree) {
+  RingFabric rings(Topology{.nodes = 4}, CostModel{});
+  EXPECT_EQ(rings.transit(0, 2, 2, 1000), 1000u);
+}
+
+TEST(Ring, LatencyProportionalToHops) {
+  const CostModel cm;
+  RingFabric rings(Topology{.nodes = 8}, cm);
+  const sim::Time one = rings.transit(0, 0, 1, 0);
+  const sim::Time three = rings.transit(1, 0, 3, 0);
+  EXPECT_EQ(one, sim::cycles(cm.ring_hop));
+  EXPECT_EQ(three, 3 * sim::cycles(cm.ring_hop));
+}
+
+TEST(Ring, UnidirectionalWrapAround) {
+  const CostModel cm;
+  Topology topo{.nodes = 8};
+  RingFabric rings(topo, cm);
+  // Going "backwards" one step costs 7 hops on a unidirectional ring.
+  EXPECT_EQ(rings.transit(0, 3, 2, 0), 7 * sim::cycles(cm.ring_hop));
+}
+
+TEST(Ring, LinkContentionQueues) {
+  const CostModel cm;
+  RingFabric rings(Topology{.nodes = 4}, cm);
+  // Two packets cross link 0->1 at the same instant: second waits.
+  const sim::Time a = rings.transit(0, 0, 1, 0);
+  const sim::Time b = rings.transit(0, 0, 1, 0);
+  EXPECT_GT(b, a);
+  EXPECT_GE(rings.total_link_wait(), sim::cycles(cm.ring_link_hold));
+}
+
+TEST(Ring, DistinctRingsDoNotInterfere) {
+  const CostModel cm;
+  RingFabric rings(Topology{.nodes = 4}, cm);
+  const sim::Time a = rings.transit(0, 0, 1, 0);
+  const sim::Time b = rings.transit(1, 0, 1, 0);  // different ring, no wait
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ring, PacketsCounted) {
+  RingFabric rings(Topology{.nodes = 4}, CostModel{});
+  rings.transit(0, 0, 2, 0);
+  rings.transit(2, 1, 0, 0);
+  EXPECT_EQ(rings.packets(), 2u);
+}
+
+TEST(Ring, SixteenNodeWorstCase) {
+  const CostModel cm;
+  RingFabric rings(Topology{.nodes = 16}, cm);
+  // Worst case on the full machine: 15 hops.
+  EXPECT_EQ(rings.transit(3, 0, 15, 0), 15 * sim::cycles(cm.ring_hop));
+}
+
+}  // namespace
+}  // namespace spp::sci

@@ -1,0 +1,120 @@
+// Unit tests for the simulation substrate: time, RNG, statistics, resources.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spp/sim/resource.h"
+#include "spp/sim/rng.h"
+#include "spp/sim/stats.h"
+#include "spp/sim/time.h"
+
+namespace spp::sim {
+namespace {
+
+TEST(Time, CycleConversions) {
+  EXPECT_EQ(cycles(1), 10u);
+  EXPECT_EQ(cycles(55), 550u);
+  EXPECT_EQ(to_cycles(550), 55u);
+  EXPECT_DOUBLE_EQ(to_usec(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    ASSERT_GE(x, -2.0);
+    ASSERT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(11);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.add(r.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BelowBound) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(RunningStat, Basic) {
+  RunningStat s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+}
+
+TEST(Resource, NoContentionWhenIdle) {
+  Resource r;
+  EXPECT_EQ(r.acquire(100, 50), 100u);
+  EXPECT_EQ(r.busy_until(), 150u);
+}
+
+TEST(Resource, QueuesBehindBusy) {
+  Resource r;
+  r.acquire(100, 50);            // busy until 150
+  EXPECT_EQ(r.acquire(120, 10), 150u);  // waits 30
+  EXPECT_EQ(r.total_wait(), 30u);
+  EXPECT_EQ(r.requests(), 2u);
+}
+
+TEST(Resource, LaterArrivalNoWait) {
+  Resource r;
+  r.acquire(0, 10);
+  EXPECT_EQ(r.acquire(1000, 10), 1000u);
+  EXPECT_EQ(r.total_wait(), 0u);
+}
+
+TEST(Resource, AcquireDoneIncludesHold) {
+  Resource r;
+  EXPECT_EQ(r.acquire_done(10, 25), 35u);
+}
+
+}  // namespace
+}  // namespace spp::sim

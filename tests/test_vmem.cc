@@ -1,0 +1,162 @@
+// Tests for virtual memory classes: placement and translation rules.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spp/arch/address.h"
+#include "spp/arch/topology.h"
+#include "spp/arch/vmem.h"
+
+namespace spp::arch {
+namespace {
+
+Topology topo4() { return Topology{.nodes = 4}; }
+
+TEST(VMem, ThreadPrivateIsolation) {
+  VMem vm(topo4());
+  const VAddr va = vm.allocate(kPageBytes, MemClass::kThreadPrivate, "tp");
+  std::set<PAddr> seen;
+  for (unsigned cpu = 0; cpu < topo4().num_cpus(); ++cpu) {
+    const PAddr pa = vm.translate(va, cpu);
+    EXPECT_TRUE(seen.insert(pa).second)
+        << "cpu " << cpu << " aliases another thread's private instance";
+    // The instance lives in the accessor's own FU.
+    EXPECT_EQ(home_fu_of(pa), topo4().fu_of_cpu(cpu));
+  }
+}
+
+TEST(VMem, NodePrivatePerNodeInstances) {
+  VMem vm(topo4());
+  const VAddr va = vm.allocate(4 * kPageBytes, MemClass::kNodePrivate, "np");
+  // CPUs of the same node share; CPUs of different nodes do not.
+  EXPECT_TRUE(vm.shared_between(va, 0, 7));    // both node 0
+  EXPECT_FALSE(vm.shared_between(va, 0, 8));   // node 0 vs node 1
+  EXPECT_TRUE(vm.shared_between(va, 8, 15));   // both node 1
+  // Instance pages stay in the owner's node.
+  for (unsigned cpu : {0u, 9u, 17u, 30u}) {
+    for (unsigned p = 0; p < 4; ++p) {
+      const PAddr pa = vm.translate(va + p * kPageBytes, cpu);
+      EXPECT_EQ(topo4().node_of_fu(home_fu_of(pa)), topo4().node_of_cpu(cpu));
+    }
+  }
+}
+
+TEST(VMem, NearSharedLivesOnHomeNode) {
+  VMem vm(topo4());
+  const VAddr va =
+      vm.allocate(8 * kPageBytes, MemClass::kNearShared, "ns", /*home=*/2);
+  std::set<unsigned> fus;
+  for (unsigned p = 0; p < 8; ++p) {
+    const PAddr pa = vm.translate(va + p * kPageBytes, /*cpu=*/0);
+    EXPECT_EQ(topo4().node_of_fu(home_fu_of(pa)), 2u);
+    fus.insert(home_fu_of(pa));
+  }
+  // Page-interleaved across all 4 FUs of node 2.
+  EXPECT_EQ(fus.size(), 4u);
+  // Same physical address for every accessor.
+  EXPECT_TRUE(vm.shared_between(va, 0, 31));
+}
+
+TEST(VMem, FarSharedRoundRobinOverNodes) {
+  VMem vm(topo4());
+  const VAddr va = vm.allocate(16 * kPageBytes, MemClass::kFarShared, "fs");
+  for (unsigned p = 0; p < 16; ++p) {
+    const PAddr pa = vm.translate(va + p * kPageBytes, 0);
+    EXPECT_EQ(topo4().node_of_fu(home_fu_of(pa)), p % 4)
+        << "page " << p << " not round-robin across hypernodes";
+  }
+  EXPECT_TRUE(vm.shared_between(va, 3, 28));
+}
+
+TEST(VMem, BlockSharedUsesBlockGranularity) {
+  VMem vm(topo4());
+  const std::uint64_t blk = 2 * kPageBytes;
+  const VAddr va = vm.allocate(8 * blk, MemClass::kBlockShared, "bs", 0, blk);
+  for (unsigned b = 0; b < 8; ++b) {
+    // Both pages of a block land on the same node.
+    const PAddr pa0 = vm.translate(va + b * blk, 0);
+    const PAddr pa1 = vm.translate(va + b * blk + kPageBytes, 0);
+    EXPECT_EQ(topo4().node_of_fu(home_fu_of(pa0)),
+              topo4().node_of_fu(home_fu_of(pa1)));
+    EXPECT_EQ(topo4().node_of_fu(home_fu_of(pa0)), b % 4);
+  }
+}
+
+TEST(VMem, DistinctRegionsDoNotOverlapPhysically) {
+  VMem vm(topo4());
+  const VAddr a = vm.allocate(64 * kPageBytes, MemClass::kFarShared, "a");
+  const VAddr b = vm.allocate(64 * kPageBytes, MemClass::kFarShared, "b");
+  std::set<PAddr> pas;
+  for (unsigned p = 0; p < 64; ++p) {
+    ASSERT_TRUE(pas.insert(vm.translate(a + p * kPageBytes, 0)).second);
+    ASSERT_TRUE(pas.insert(vm.translate(b + p * kPageBytes, 0)).second);
+  }
+}
+
+TEST(VMem, OffsetWithinPagePreserved) {
+  VMem vm(topo4());
+  const VAddr va = vm.allocate(4 * kPageBytes, MemClass::kFarShared, "x");
+  const PAddr base = vm.translate(va, 0);
+  EXPECT_EQ(vm.translate(va + 24, 0), base + 24);
+  EXPECT_EQ(vm.translate(va + kPageBytes - 1, 0), base + kPageBytes - 1);
+}
+
+TEST(VMem, UnmappedAddressThrows) {
+  VMem vm(topo4());
+  EXPECT_THROW(vm.translate(0, 0), std::out_of_range);
+  const VAddr va = vm.allocate(kPageBytes, MemClass::kFarShared, "y");
+  EXPECT_THROW(vm.translate(va + 100 * kPageBytes, 0), std::out_of_range);
+}
+
+TEST(VMem, RegionLookup) {
+  VMem vm(topo4());
+  const VAddr va = vm.allocate(kPageBytes, MemClass::kNearShared, "tag", 1);
+  const Region& r = vm.region_of(va + 100);
+  EXPECT_EQ(r.label, "tag");
+  EXPECT_EQ(r.home_node, 1u);
+  EXPECT_EQ(r.mem_class, MemClass::kNearShared);
+}
+
+TEST(VMem, PhysicalWindowExhaustionThrows) {
+  VMem vm(topo4());
+  // Bookkeeping-only allocations: each FU window is 64 GB.
+  for (int k = 0; k < 63; ++k) {
+    vm.allocate(1ull << 30, MemClass::kFarShared, "big");
+  }
+  EXPECT_THROW(vm.allocate(2ull << 30, MemClass::kFarShared, "overflow"),
+               std::runtime_error);
+}
+
+TEST(VMem, BlockSharedRejectsUnalignedBlocks) {
+  VMem vm(topo4());
+  // Block size must be a multiple of the line size (asserted in debug,
+  // accepted sizes work).
+  const VAddr ok = vm.allocate(kPageBytes, MemClass::kBlockShared, "ok", 0,
+                               4 * kLineBytes);
+  EXPECT_NE(ok, 0u);
+}
+
+TEST(VMem, LabelsSurviveInRegions) {
+  VMem vm(topo4());
+  vm.allocate(kPageBytes, MemClass::kFarShared, "alpha");
+  vm.allocate(kPageBytes, MemClass::kNearShared, "beta", 2);
+  ASSERT_EQ(vm.regions().size(), 2u);
+  EXPECT_EQ(vm.regions()[0].label, "alpha");
+  EXPECT_EQ(vm.regions()[1].label, "beta");
+}
+
+TEST(Topology, IdMath) {
+  Topology t{.nodes = 16};
+  EXPECT_EQ(t.num_cpus(), 128u);
+  EXPECT_EQ(t.num_fus(), 64u);
+  EXPECT_EQ(t.node_of_cpu(127), 15u);
+  EXPECT_EQ(t.fu_of_cpu(10), 5u);  // node 1, fu_in_node 1
+  EXPECT_EQ(t.cpu_id(1, 1, 0), 10u);
+  EXPECT_EQ(t.ring_of_fu(t.fu_id(7, 3)), 3u);
+  EXPECT_EQ(t.ring_hops(0, 0), 0u);
+  EXPECT_EQ(t.ring_hops(15, 0), 1u);
+  EXPECT_EQ(t.ring_hops(0, 15), 15u);
+}
+
+}  // namespace
+}  // namespace spp::arch

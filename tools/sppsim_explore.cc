@@ -1,0 +1,179 @@
+// sppsim-explore: interactive probe tool for the simulated SPP-1000.
+//
+//   sppsim-explore latency  [--nodes N] [--l1-kb K]
+//   sppsim-explore forkjoin [--nodes N] [--threads T]
+//   sppsim-explore barrier  [--nodes N] [--threads T]
+//   sppsim-explore message  [--nodes N] [--bytes B]
+//   sppsim-explore map      [--nodes N]
+//
+// A release-style CLI for quick what-if questions ("what does the remote
+// miss cost on an 8-node machine with 256 KB caches?") without writing a
+// program against the library.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "spp/arch/machine.h"
+#include "spp/pvm/pvm.h"
+#include "spp/rt/runtime.h"
+#include "spp/rt/sync.h"
+
+using namespace spp;
+
+namespace {
+
+struct Args {
+  std::string cmd = "latency";
+  unsigned nodes = 2;
+  unsigned threads = 8;
+  std::size_t bytes = 1024;
+  std::uint64_t l1_kb = 1024;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    if (argc > 1 && argv[1][0] != '-') a.cmd = argv[1];
+    for (int i = 1; i < argc; ++i) {
+      auto val = [&](const char* flag) -> const char* {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+          return argv[++i];
+        }
+        return nullptr;
+      };
+      if (const char* v = val("--nodes")) a.nodes = std::atoi(v);
+      if (const char* v = val("--threads")) a.threads = std::atoi(v);
+      if (const char* v = val("--bytes")) a.bytes = std::atoll(v);
+      if (const char* v = val("--l1-kb")) a.l1_kb = std::atoll(v);
+    }
+    if (a.nodes < 1) a.nodes = 1;
+    if (a.nodes > 16) a.nodes = 16;
+    return a;
+  }
+};
+
+arch::CostModel cost_for(const Args& a) {
+  arch::CostModel cm;
+  cm.l1_bytes = a.l1_kb << 10;
+  return cm;
+}
+
+int cmd_latency(const Args& a) {
+  arch::Machine m(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  std::printf("machine: %u hypernodes, %u CPUs, L1 %llu KB\n\n", a.nodes,
+              m.topo().num_cpus(),
+              static_cast<unsigned long long>(a.l1_kb));
+  const auto probe = [&](const char* what, unsigned home,
+                         sim::Time at) -> void {
+    const arch::VAddr va = m.vm().allocate(
+        64 * arch::kLineBytes, arch::MemClass::kNearShared, "probe", home);
+    sim::Time t = at;
+    double sum = 0;
+    for (unsigned k = 0; k < 64; ++k) {
+      const sim::Time t2 = m.access(0, va + k * arch::kLineBytes, false, t);
+      sum += static_cast<double>(sim::to_cycles(t2 - t));
+      t = t2;
+    }
+    std::printf("  %-28s %7.1f cycles\n", what, sum / 64);
+  };
+  {
+    const arch::VAddr va = m.vm().allocate(
+        arch::kLineBytes, arch::MemClass::kNearShared, "hit", 0);
+    sim::Time t = m.access(0, va, false, 0);
+    const sim::Time t2 = m.access(0, va, false, t);
+    std::printf("  %-28s %7.1f cycles\n", "cache hit",
+                static_cast<double>(sim::to_cycles(t2 - t)));
+  }
+  probe("hypernode-local miss", 0, 1000000);
+  if (a.nodes > 1) probe("remote-hypernode miss", 1, 50000000);
+  return 0;
+}
+
+int cmd_forkjoin(const Args& a) {
+  rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  runtime.run([&] {
+    const sim::Time t0 = runtime.now();
+    runtime.parallel(a.threads, rt::Placement::kUniform,
+                     [](unsigned, unsigned) {});
+    std::printf("fork-join of %u threads (uniform): %.1f us\n", a.threads,
+                sim::to_usec(runtime.now() - t0));
+  });
+  return 0;
+}
+
+int cmd_barrier(const Args& a) {
+  rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  runtime.run([&] {
+    rt::Barrier barrier(runtime, a.threads);
+    sim::Time t0 = 0;
+    runtime.parallel(a.threads, rt::Placement::kUniform,
+                     [&](unsigned tid, unsigned) {
+                       barrier.wait();  // warm/align
+                       if (tid == 0) t0 = runtime.now();
+                       barrier.wait();
+                       if (tid == 0) {
+                         std::printf("barrier of %u threads: %.2f us "
+                                     "(thread 0 view)\n",
+                                     a.threads,
+                                     sim::to_usec(runtime.now() - t0));
+                       }
+                     });
+  });
+  return 0;
+}
+
+int cmd_message(const Args& a) {
+  rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  runtime.run([&] {
+    pvm::Pvm vm(runtime);
+    vm.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+      std::vector<double> buf(a.bytes / 8 + 1, 1.0);
+      if (me == 0) {
+        pvm::Message m;
+        m.pack(buf.data(), buf.size());
+        const sim::Time t0 = runtime.now();
+        vm.send(1, 1, std::move(m));
+        vm.recv(1, 2);
+        std::printf("PVM round trip, %zu bytes, %s: %.1f us\n", a.bytes,
+                    a.nodes > 1 ? "cross-node" : "local",
+                    sim::to_usec(runtime.now() - t0));
+      } else {
+        pvm::Message m = vm.recv(0, 1);
+        m.tag = 2;
+        vm.send(0, 2, std::move(m));
+      }
+    });
+  });
+  return 0;
+}
+
+int cmd_map(const Args& a) {
+  arch::Machine m(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  std::printf("SPP-1000, %u hypernode(s):\n", a.nodes);
+  std::printf("  %u functional units (2 CPUs each), %u CPUs total\n",
+              m.topo().num_fus(), m.topo().num_cpus());
+  std::printf("  4 SCI rings; FU k of every node on ring k\n");
+  std::printf("  L1: %llu KB direct-mapped, %llu-byte lines\n",
+              static_cast<unsigned long long>(m.cost().l1_bytes >> 10),
+              static_cast<unsigned long long>(arch::kLineBytes));
+  std::printf("  gcache: %llu KB per (node, ring)\n",
+              static_cast<unsigned long long>(m.cost().gcache_bytes >> 10));
+  std::printf("  memory classes: thread_private node_private near_shared "
+              "far_shared block_shared\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = Args::parse(argc, argv);
+  if (a.cmd == "latency") return cmd_latency(a);
+  if (a.cmd == "forkjoin") return cmd_forkjoin(a);
+  if (a.cmd == "barrier") return cmd_barrier(a);
+  if (a.cmd == "message") return cmd_message(a);
+  if (a.cmd == "map") return cmd_map(a);
+  std::fprintf(stderr,
+               "usage: sppsim-explore latency|forkjoin|barrier|message|map "
+               "[--nodes N] [--threads T] [--bytes B] [--l1-kb K]\n");
+  return 2;
+}
