@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message.dir/bench_message.cc.o"
+  "CMakeFiles/bench_message.dir/bench_message.cc.o.d"
+  "bench_message"
+  "bench_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

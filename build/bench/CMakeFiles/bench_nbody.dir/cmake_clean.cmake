@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nbody.dir/bench_nbody.cc.o"
+  "CMakeFiles/bench_nbody.dir/bench_nbody.cc.o.d"
+  "bench_nbody"
+  "bench_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pic.dir/bench_pic.cc.o"
+  "CMakeFiles/bench_pic.dir/bench_pic.cc.o.d"
+  "bench_pic"
+  "bench_pic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

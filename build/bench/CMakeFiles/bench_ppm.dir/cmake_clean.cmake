@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ppm.dir/bench_ppm.cc.o"
+  "CMakeFiles/bench_ppm.dir/bench_ppm.cc.o.d"
+  "bench_ppm"
+  "bench_ppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_blast.dir/fem_blast.cpp.o"
+  "CMakeFiles/fem_blast.dir/fem_blast.cpp.o.d"
+  "fem_blast"
+  "fem_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plasma_wave.dir/plasma_wave.cpp.o"
+  "CMakeFiles/plasma_wave.dir/plasma_wave.cpp.o.d"
+  "plasma_wave"
+  "plasma_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plasma_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiled_stencil.dir/profiled_stencil.cpp.o"
+  "CMakeFiles/profiled_stencil.dir/profiled_stencil.cpp.o.d"
+  "profiled_stencil"
+  "profiled_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiled_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shock_tube.dir/shock_tube.cpp.o"
+  "CMakeFiles/shock_tube.dir/shock_tube.cpp.o.d"
+  "shock_tube"
+  "shock_tube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shock_tube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/supernova_shell.cpp" "examples/CMakeFiles/supernova_shell.dir/supernova_shell.cpp.o" "gcc" "examples/CMakeFiles/supernova_shell.dir/supernova_shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spp/apps/CMakeFiles/spp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/pvm/CMakeFiles/spp_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/rt/CMakeFiles/spp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/arch/CMakeFiles/spp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/sim/CMakeFiles/spp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/fft/CMakeFiles/spp_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/c90/CMakeFiles/spp_c90.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernova_shell.dir/supernova_shell.cpp.o"
+  "CMakeFiles/supernova_shell.dir/supernova_shell.cpp.o.d"
+  "supernova_shell"
+  "supernova_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernova_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("spp/sim")
+subdirs("spp/arch")
+subdirs("spp/sci")
+subdirs("spp/rt")
+subdirs("spp/lib")
+subdirs("spp/prof")
+subdirs("spp/pvm")
+subdirs("spp/fft")
+subdirs("spp/c90")
+subdirs("spp/apps")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spp/apps/fem/femgas.cc" "src/spp/apps/CMakeFiles/spp_apps.dir/fem/femgas.cc.o" "gcc" "src/spp/apps/CMakeFiles/spp_apps.dir/fem/femgas.cc.o.d"
+  "/root/repo/src/spp/apps/fem/mesh.cc" "src/spp/apps/CMakeFiles/spp_apps.dir/fem/mesh.cc.o" "gcc" "src/spp/apps/CMakeFiles/spp_apps.dir/fem/mesh.cc.o.d"
+  "/root/repo/src/spp/apps/nbody/nbody.cc" "src/spp/apps/CMakeFiles/spp_apps.dir/nbody/nbody.cc.o" "gcc" "src/spp/apps/CMakeFiles/spp_apps.dir/nbody/nbody.cc.o.d"
+  "/root/repo/src/spp/apps/nbody/nbody_pvm.cc" "src/spp/apps/CMakeFiles/spp_apps.dir/nbody/nbody_pvm.cc.o" "gcc" "src/spp/apps/CMakeFiles/spp_apps.dir/nbody/nbody_pvm.cc.o.d"
+  "/root/repo/src/spp/apps/pic/pic.cc" "src/spp/apps/CMakeFiles/spp_apps.dir/pic/pic.cc.o" "gcc" "src/spp/apps/CMakeFiles/spp_apps.dir/pic/pic.cc.o.d"
+  "/root/repo/src/spp/apps/pic/pic_pvm.cc" "src/spp/apps/CMakeFiles/spp_apps.dir/pic/pic_pvm.cc.o" "gcc" "src/spp/apps/CMakeFiles/spp_apps.dir/pic/pic_pvm.cc.o.d"
+  "/root/repo/src/spp/apps/ppm/ppm.cc" "src/spp/apps/CMakeFiles/spp_apps.dir/ppm/ppm.cc.o" "gcc" "src/spp/apps/CMakeFiles/spp_apps.dir/ppm/ppm.cc.o.d"
+  "/root/repo/src/spp/apps/ppm/riemann.cc" "src/spp/apps/CMakeFiles/spp_apps.dir/ppm/riemann.cc.o" "gcc" "src/spp/apps/CMakeFiles/spp_apps.dir/ppm/riemann.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spp/rt/CMakeFiles/spp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/pvm/CMakeFiles/spp_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/fft/CMakeFiles/spp_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/c90/CMakeFiles/spp_c90.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/arch/CMakeFiles/spp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/sim/CMakeFiles/spp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_apps.dir/fem/femgas.cc.o"
+  "CMakeFiles/spp_apps.dir/fem/femgas.cc.o.d"
+  "CMakeFiles/spp_apps.dir/fem/mesh.cc.o"
+  "CMakeFiles/spp_apps.dir/fem/mesh.cc.o.d"
+  "CMakeFiles/spp_apps.dir/nbody/nbody.cc.o"
+  "CMakeFiles/spp_apps.dir/nbody/nbody.cc.o.d"
+  "CMakeFiles/spp_apps.dir/nbody/nbody_pvm.cc.o"
+  "CMakeFiles/spp_apps.dir/nbody/nbody_pvm.cc.o.d"
+  "CMakeFiles/spp_apps.dir/pic/pic.cc.o"
+  "CMakeFiles/spp_apps.dir/pic/pic.cc.o.d"
+  "CMakeFiles/spp_apps.dir/pic/pic_pvm.cc.o"
+  "CMakeFiles/spp_apps.dir/pic/pic_pvm.cc.o.d"
+  "CMakeFiles/spp_apps.dir/ppm/ppm.cc.o"
+  "CMakeFiles/spp_apps.dir/ppm/ppm.cc.o.d"
+  "CMakeFiles/spp_apps.dir/ppm/riemann.cc.o"
+  "CMakeFiles/spp_apps.dir/ppm/riemann.cc.o.d"
+  "libspp_apps.a"
+  "libspp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_arch.dir/machine.cc.o"
+  "CMakeFiles/spp_arch.dir/machine.cc.o.d"
+  "CMakeFiles/spp_arch.dir/vmem.cc.o"
+  "CMakeFiles/spp_arch.dir/vmem.cc.o.d"
+  "libspp_arch.a"
+  "libspp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

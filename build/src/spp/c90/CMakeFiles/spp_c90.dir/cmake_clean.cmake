@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_c90.dir/c90.cc.o"
+  "CMakeFiles/spp_c90.dir/c90.cc.o.d"
+  "libspp_c90.a"
+  "libspp_c90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_c90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

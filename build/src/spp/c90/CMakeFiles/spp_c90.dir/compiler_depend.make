@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spp_c90.
+# This may be replaced when dependencies are built.

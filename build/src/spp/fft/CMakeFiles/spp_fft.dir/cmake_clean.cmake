@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_fft.dir/fft.cc.o"
+  "CMakeFiles/spp_fft.dir/fft.cc.o.d"
+  "libspp_fft.a"
+  "libspp_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

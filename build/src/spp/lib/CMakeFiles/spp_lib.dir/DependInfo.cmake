@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spp/lib/pfft.cc" "src/spp/lib/CMakeFiles/spp_lib.dir/pfft.cc.o" "gcc" "src/spp/lib/CMakeFiles/spp_lib.dir/pfft.cc.o.d"
+  "/root/repo/src/spp/lib/psort.cc" "src/spp/lib/CMakeFiles/spp_lib.dir/psort.cc.o" "gcc" "src/spp/lib/CMakeFiles/spp_lib.dir/psort.cc.o.d"
+  "/root/repo/src/spp/lib/scatter_add.cc" "src/spp/lib/CMakeFiles/spp_lib.dir/scatter_add.cc.o" "gcc" "src/spp/lib/CMakeFiles/spp_lib.dir/scatter_add.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spp/rt/CMakeFiles/spp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/fft/CMakeFiles/spp_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/arch/CMakeFiles/spp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/spp/sim/CMakeFiles/spp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_lib.dir/pfft.cc.o"
+  "CMakeFiles/spp_lib.dir/pfft.cc.o.d"
+  "CMakeFiles/spp_lib.dir/psort.cc.o"
+  "CMakeFiles/spp_lib.dir/psort.cc.o.d"
+  "CMakeFiles/spp_lib.dir/scatter_add.cc.o"
+  "CMakeFiles/spp_lib.dir/scatter_add.cc.o.d"
+  "libspp_lib.a"
+  "libspp_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspp_lib.a"
+)

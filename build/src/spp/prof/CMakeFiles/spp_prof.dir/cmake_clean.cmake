@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_prof.dir/profiler.cc.o"
+  "CMakeFiles/spp_prof.dir/profiler.cc.o.d"
+  "libspp_prof.a"
+  "libspp_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

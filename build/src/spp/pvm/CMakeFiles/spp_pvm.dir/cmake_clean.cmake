@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_pvm.dir/pvm.cc.o"
+  "CMakeFiles/spp_pvm.dir/pvm.cc.o.d"
+  "libspp_pvm.a"
+  "libspp_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

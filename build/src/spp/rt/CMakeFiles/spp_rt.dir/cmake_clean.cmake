@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_rt.dir/conductor.cc.o"
+  "CMakeFiles/spp_rt.dir/conductor.cc.o.d"
+  "CMakeFiles/spp_rt.dir/loops.cc.o"
+  "CMakeFiles/spp_rt.dir/loops.cc.o.d"
+  "CMakeFiles/spp_rt.dir/runtime.cc.o"
+  "CMakeFiles/spp_rt.dir/runtime.cc.o.d"
+  "CMakeFiles/spp_rt.dir/sync.cc.o"
+  "CMakeFiles/spp_rt.dir/sync.cc.o.d"
+  "libspp_rt.a"
+  "libspp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

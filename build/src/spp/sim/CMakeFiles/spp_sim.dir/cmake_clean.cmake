@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spp_sim.dir/log.cc.o"
+  "CMakeFiles/spp_sim.dir/log.cc.o.d"
+  "libspp_sim.a"
+  "libspp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

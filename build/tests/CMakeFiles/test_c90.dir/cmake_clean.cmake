@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c90.dir/test_c90.cc.o"
+  "CMakeFiles/test_c90.dir/test_c90.cc.o.d"
+  "test_c90"
+  "test_c90.pdb"
+  "test_c90[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

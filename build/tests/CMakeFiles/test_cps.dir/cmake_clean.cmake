@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cps.dir/test_cps.cc.o"
+  "CMakeFiles/test_cps.dir/test_cps.cc.o.d"
+  "test_cps"
+  "test_cps.pdb"
+  "test_cps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

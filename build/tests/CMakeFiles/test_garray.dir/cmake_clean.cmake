@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_garray.dir/test_garray.cc.o"
+  "CMakeFiles/test_garray.dir/test_garray.cc.o.d"
+  "test_garray"
+  "test_garray.pdb"
+  "test_garray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_garray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

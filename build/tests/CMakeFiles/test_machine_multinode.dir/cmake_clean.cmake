@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_multinode.dir/test_machine_multinode.cc.o"
+  "CMakeFiles/test_machine_multinode.dir/test_machine_multinode.cc.o.d"
+  "test_machine_multinode"
+  "test_machine_multinode.pdb"
+  "test_machine_multinode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

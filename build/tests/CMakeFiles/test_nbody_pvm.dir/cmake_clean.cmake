@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nbody_pvm.dir/test_nbody_pvm.cc.o"
+  "CMakeFiles/test_nbody_pvm.dir/test_nbody_pvm.cc.o.d"
+  "test_nbody_pvm"
+  "test_nbody_pvm.pdb"
+  "test_nbody_pvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nbody_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

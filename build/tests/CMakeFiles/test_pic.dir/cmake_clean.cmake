@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pic.dir/test_pic.cc.o"
+  "CMakeFiles/test_pic.dir/test_pic.cc.o.d"
+  "test_pic"
+  "test_pic.pdb"
+  "test_pic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

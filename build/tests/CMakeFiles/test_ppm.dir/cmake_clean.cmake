@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppm.dir/test_ppm.cc.o"
+  "CMakeFiles/test_ppm.dir/test_ppm.cc.o.d"
+  "test_ppm"
+  "test_ppm.pdb"
+  "test_ppm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pvm.dir/test_pvm.cc.o"
+  "CMakeFiles/test_pvm.dir/test_pvm.cc.o.d"
+  "test_pvm"
+  "test_pvm.pdb"
+  "test_pvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

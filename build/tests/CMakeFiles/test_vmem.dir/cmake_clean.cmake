@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmem.dir/test_vmem.cc.o"
+  "CMakeFiles/test_vmem.dir/test_vmem.cc.o.d"
+  "test_vmem"
+  "test_vmem.pdb"
+  "test_vmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_vmem[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_multinode[1]_include.cmake")
+include("/root/repo/build/tests/test_garray[1]_include.cmake")
+include("/root/repo/build/tests/test_rt[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_pvm[1]_include.cmake")
+include("/root/repo/build/tests/test_c90[1]_include.cmake")
+include("/root/repo/build/tests/test_pic[1]_include.cmake")
+include("/root/repo/build/tests/test_nbody[1]_include.cmake")
+include("/root/repo/build/tests/test_fem[1]_include.cmake")
+include("/root/repo/build/tests/test_ppm[1]_include.cmake")
+include("/root/repo/build/tests/test_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_riemann[1]_include.cmake")
+include("/root/repo/build/tests/test_lib[1]_include.cmake")
+include("/root/repo/build/tests/test_prof[1]_include.cmake")
+include("/root/repo/build/tests/test_nbody_pvm[1]_include.cmake")
+include("/root/repo/build/tests/test_cps[1]_include.cmake")
+include("/root/repo/build/tests/test_ablation[1]_include.cmake")

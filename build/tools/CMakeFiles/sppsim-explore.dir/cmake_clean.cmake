@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppsim-explore.dir/sppsim_explore.cc.o"
+  "CMakeFiles/sppsim-explore.dir/sppsim_explore.cc.o.d"
+  "sppsim-explore"
+  "sppsim-explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppsim-explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
