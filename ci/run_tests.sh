@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 test gate: configure, build, and run the full ctest suite, first
+# plain and then under AddressSanitizer + UBSan (SPP_SANITIZE, see the
+# top-level CMakeLists.txt).  Either failing fails the gate.
+#
+# Usage: ci/run_tests.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-all}"
+
+run_suite() {
+  local builddir="$1"; shift
+  cmake -B "$builddir" -S . "$@"
+  cmake --build "$builddir" -j "$JOBS"
+  ctest --test-dir "$builddir" --output-on-failure -j "$JOBS"
+}
+
+if [[ "$MODE" != "--sanitize-only" ]]; then
+  echo "=== tier-1: plain build ==="
+  run_suite build
+fi
+
+if [[ "$MODE" != "--plain-only" ]]; then
+  echo "=== tier-1: address,undefined sanitized build ==="
+  run_suite build-asan \
+    -DSPP_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "=== tier-1: OK ==="

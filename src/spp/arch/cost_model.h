@@ -18,7 +18,10 @@
 //    machinery produces all scaling behaviour.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "spp/sim/time.h"
 
@@ -100,6 +103,43 @@ struct CostModel {
   double pvm_local_byte_ns = 0.35; ///< streaming copy cost per byte, local.
   double pvm_ring_byte_ns = 0.9;   ///< streaming cost per byte over a ring.
   sim::Time pvm_ring_fixed = 18000;  ///< fixed inter-node transport cost.
+
+  // --- Fault recovery (spp::fault) ------------------------------------------
+  // Exercised only when a FaultInjector is attached; a fault-free run never
+  // touches these, so adding them cannot drift the calibrated numbers above.
+  sim::Time cpu_recovery_sw = 250000;  ///< detect a fail-stopped CPU and
+                                       ///< restart its thread elsewhere.
+  sim::Time pvm_ack_sw = 3000;         ///< transport-level delivery ack.
+  sim::Time pvm_retry_timeout = 200000;  ///< initial retransmit timeout.
+  std::uint32_t pvm_retry_backoff = 2;   ///< timeout multiplier per retry.
+  std::uint32_t pvm_max_retries = 8;     ///< bounded retransmission budget.
+
+  /// Fails loudly on structurally nonsensical values (zero capacities,
+  /// non-positive issue rates) that would otherwise divide by zero or size
+  /// empty caches.  Latency constants may legitimately be zero (ablations).
+  void validate() const {
+    auto bad = [](const std::string& what) {
+      throw std::invalid_argument("cost model: " + what);
+    };
+    if (!(flops_per_cycle > 0) || !std::isfinite(flops_per_cycle)) {
+      bad("flops_per_cycle must be positive and finite");
+    }
+    if (!(intops_per_cycle > 0) || !std::isfinite(intops_per_cycle)) {
+      bad("intops_per_cycle must be positive and finite");
+    }
+    if (l1_bytes == 0) bad("l1_bytes must be nonzero");
+    if (gcache_bytes == 0) bad("gcache_bytes must be nonzero");
+    if (banks_per_fu == 0) bad("banks_per_fu must be nonzero");
+    if (pvm_local_byte_ns < 0 || !std::isfinite(pvm_local_byte_ns)) {
+      bad("pvm_local_byte_ns must be non-negative and finite");
+    }
+    if (pvm_ring_byte_ns < 0 || !std::isfinite(pvm_ring_byte_ns)) {
+      bad("pvm_ring_byte_ns must be non-negative and finite");
+    }
+    if (pvm_retry_backoff == 0) bad("pvm_retry_backoff must be >= 1");
+    if (pvm_max_retries == 0) bad("pvm_max_retries must be >= 1");
+    if (spin_poll_interval == 0) bad("spin_poll_interval must be nonzero");
+  }
 
   /// Cycles for `n` charged floating point operations.
   std::uint64_t flop_cycles(double n) const {

@@ -14,14 +14,15 @@ std::uint8_t bit(unsigned cpu_in_node) {
 }  // namespace
 
 Machine::Machine(Topology topo, CostModel cm)
-    : topo_(topo),
-      cm_(cm),
+    // Validate before any member sizes itself from a malformed config.
+    : topo_((topo.validate(), topo)),
+      cm_((cm.validate(), cm)),
       vm_(topo),
       perf_(topo.num_cpus()),
       rings_(topo, cm),
       l1_(topo.num_cpus(), L1Cache(cm.l1_bytes, topo.num_fus())),
       fus_(topo.num_fus()) {
-  assert(topo_.valid());
+  rings_.set_perf(&perf_);
   for (auto& fu : fus_) fu.banks.resize(cm_.banks_per_fu);
   gcaches_.reserve(topo_.nodes * kNumRings);
   for (unsigned i = 0; i < topo_.nodes * kNumRings; ++i) {

@@ -46,6 +46,19 @@ struct PerfCounters {
   std::uint64_t gcache_evictions = 0;
   std::uint64_t l1_evictions = 0;
 
+  // --- fault injection and recovery (spp::fault) ----------------------------
+  // All zero unless a FaultInjector is attached; see docs/FAULTS.md.
+  std::uint64_t faults_injected = 0;   ///< fault events/incidents applied.
+  std::uint64_t pvm_msgs_dropped = 0;
+  std::uint64_t pvm_msgs_duplicated = 0;
+  std::uint64_t pvm_msgs_delayed = 0;
+  std::uint64_t pvm_retries = 0;       ///< retransmission attempts.
+  std::uint64_t pvm_retransmitted_bytes = 0;
+  std::uint64_t ring_reroutes = 0;     ///< packets detoured off dead links.
+  std::uint64_t ring_reroute_hops = 0; ///< extra hops charged by detours.
+  std::uint64_t cpu_recoveries = 0;    ///< thread migrations off failed CPUs.
+  sim::Time recovery_ns = 0;           ///< simulated time spent recovering.
+
   CpuCounters total() const {
     CpuCounters t;
     for (const auto& c : cpu) {

@@ -8,6 +8,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace spp::arch {
 
@@ -54,6 +56,16 @@ struct Topology {
   }
 
   constexpr bool valid() const { return nodes >= 1 && nodes <= kMaxNodes; }
+
+  /// Fails loudly on a malformed shape instead of letting downstream sizing
+  /// arithmetic produce silent garbage (the SPP-1000 ships 1..16 hypernodes).
+  void validate() const {
+    if (!valid()) {
+      throw std::invalid_argument("topology: nodes must be 1.." +
+                                  std::to_string(kMaxNodes) + ", got " +
+                                  std::to_string(nodes));
+    }
+  }
 };
 
 }  // namespace spp::arch

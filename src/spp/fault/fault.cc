@@ -1,0 +1,296 @@
+#include "spp/fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace spp::fault {
+
+// ---------------------------------------------------------------------------
+// FaultPlan builders
+// ---------------------------------------------------------------------------
+
+FaultPlan& FaultPlan::link_down(sim::Time at, unsigned ring, unsigned node) {
+  events.push_back({.kind = FaultEvent::Kind::kLinkDown,
+                    .at = at,
+                    .ring = ring,
+                    .node = node});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(sim::Time at, unsigned ring, unsigned node) {
+  events.push_back({.kind = FaultEvent::Kind::kLinkUp,
+                    .at = at,
+                    .ring = ring,
+                    .node = node});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_degrade(sim::Time at, unsigned ring, unsigned node,
+                                   std::uint32_t factor) {
+  events.push_back({.kind = FaultEvent::Kind::kLinkDegrade,
+                    .at = at,
+                    .ring = ring,
+                    .node = node,
+                    .degrade = factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cpu_fail(sim::Time at, unsigned cpu) {
+  events.push_back(
+      {.kind = FaultEvent::Kind::kCpuFail, .at = at, .cpu = cpu});
+  return *this;
+}
+
+FaultPlan& FaultPlan::pvm_loss(sim::Time at, double drop_p, double dup_p,
+                               double delay_p, sim::Time delay_ns) {
+  FaultEvent e{.kind = FaultEvent::Kind::kPvmLoss, .at = at};
+  e.drop_p = drop_p;
+  e.dup_p = dup_p;
+  e.delay_p = delay_p;
+  e.delay_ns = delay_ns;
+  events.push_back(e);
+  return *this;
+}
+
+bool FaultPlan::has_message_faults() const {
+  return std::any_of(events.begin(), events.end(), [](const FaultEvent& e) {
+    return e.kind == FaultEvent::Kind::kPvmLoss;
+  });
+}
+
+void FaultPlan::validate(const arch::Topology& topo) const {
+  topo.validate();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    auto bad = [&](const std::string& what) {
+      throw ConfigError("fault plan event " + std::to_string(i) + ": " + what);
+    };
+    switch (e.kind) {
+      case FaultEvent::Kind::kLinkDown:
+      case FaultEvent::Kind::kLinkUp:
+      case FaultEvent::Kind::kLinkDegrade:
+        if (e.ring >= arch::kNumRings) {
+          bad("ring " + std::to_string(e.ring) + " out of range (machine has " +
+              std::to_string(arch::kNumRings) + " rings)");
+        }
+        if (e.node >= topo.nodes) {
+          bad("node " + std::to_string(e.node) +
+              " out of range (machine has " + std::to_string(topo.nodes) +
+              " hypernodes)");
+        }
+        if (e.kind == FaultEvent::Kind::kLinkDegrade && e.degrade == 0) {
+          bad("degrade factor must be >= 1");
+        }
+        break;
+      case FaultEvent::Kind::kCpuFail:
+        if (e.cpu >= topo.num_cpus()) {
+          bad("cpu " + std::to_string(e.cpu) + " out of range (machine has " +
+              std::to_string(topo.num_cpus()) + " CPUs)");
+        }
+        break;
+      case FaultEvent::Kind::kPvmLoss: {
+        auto prob_ok = [](double p) {
+          return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+        };
+        if (!prob_ok(e.drop_p) || !prob_ok(e.dup_p) || !prob_ok(e.delay_p)) {
+          bad("probabilities must lie in [0, 1]");
+        }
+        if (e.drop_p + e.dup_p + e.delay_p > 1.0) {
+          bad("drop + dup + delay probabilities exceed 1");
+        }
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Text plan parsing (format: docs/FAULTS.md)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Extracts the next whitespace-separated field as T or dies with context.
+template <typename T>
+T field(std::istringstream& in, unsigned lineno, const char* what) {
+  T v{};
+  if (!(in >> v)) {
+    throw ConfigError("fault plan line " + std::to_string(lineno) +
+                      ": missing or malformed " + std::string(what));
+  }
+  return v;
+}
+
+void expect_end(std::istringstream& in, unsigned lineno) {
+  std::string rest;
+  if (in >> rest) {
+    throw ConfigError("fault plan line " + std::to_string(lineno) +
+                      ": trailing junk '" + rest + "'");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  unsigned lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream in(line);
+    std::string verb;
+    if (!(in >> verb)) continue;  // blank or comment-only line.
+
+    if (verb == "seed") {
+      plan.seed = field<std::uint64_t>(in, lineno, "seed value");
+    } else if (verb == "link-down" || verb == "link-up") {
+      const auto at = field<sim::Time>(in, lineno, "time (ns)");
+      const auto ring = field<unsigned>(in, lineno, "ring");
+      const auto node = field<unsigned>(in, lineno, "node");
+      if (verb == "link-down") {
+        plan.link_down(at, ring, node);
+      } else {
+        plan.link_up(at, ring, node);
+      }
+    } else if (verb == "link-degrade") {
+      const auto at = field<sim::Time>(in, lineno, "time (ns)");
+      const auto ring = field<unsigned>(in, lineno, "ring");
+      const auto node = field<unsigned>(in, lineno, "node");
+      const auto factor = field<std::uint32_t>(in, lineno, "degrade factor");
+      plan.link_degrade(at, ring, node, factor);
+    } else if (verb == "cpu-fail") {
+      const auto at = field<sim::Time>(in, lineno, "time (ns)");
+      const auto cpu = field<unsigned>(in, lineno, "cpu");
+      plan.cpu_fail(at, cpu);
+    } else if (verb == "pvm-loss") {
+      const auto at = field<sim::Time>(in, lineno, "time (ns)");
+      const auto drop = field<double>(in, lineno, "drop probability");
+      const auto dup = field<double>(in, lineno, "duplicate probability");
+      const auto delay = field<double>(in, lineno, "delay probability");
+      const auto delay_ns = field<sim::Time>(in, lineno, "delay (ns)");
+      plan.pvm_loss(at, drop, dup, delay, delay_ns);
+    } else {
+      throw ConfigError("fault plan line " + std::to_string(lineno) +
+                        ": unknown directive '" + verb + "'");
+    }
+    expect_end(in, lineno);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("fault plan: cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  // Stable sort: simultaneous events apply in plan order, deterministically.
+  std::stable_sort(
+      plan_.events.begin(), plan_.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  has_message_faults_ = plan_.has_message_faults();
+}
+
+FaultInjector::~FaultInjector() { detach(); }
+
+void FaultInjector::attach(rt::Runtime& rt) {
+  if (rt_ != nullptr) {
+    throw ConfigError("fault injector: already attached to a runtime");
+  }
+  plan_.validate(rt.topo());
+  rt_ = &rt;
+  failed_cpus_.assign(rt.topo().num_cpus(), false);
+  next_event_ = 0;
+  loss_active_ = false;
+  drop_p_ = dup_p_ = delay_p_ = 0;
+  delay_ns_ = 0;
+  rng_.reseed(plan_.seed);
+  rt.set_fault_hook(this);
+}
+
+void FaultInjector::detach() {
+  if (rt_ == nullptr) return;
+  if (rt_->fault_hook() == this) rt_->set_fault_hook(nullptr);
+  rt_ = nullptr;
+}
+
+bool FaultInjector::cpu_failed(unsigned cpu) const {
+  return cpu < failed_cpus_.size() && failed_cpus_[cpu];
+}
+
+void FaultInjector::poll(sim::Time now) {
+  while (next_event_ < plan_.events.size() &&
+         plan_.events[next_event_].at <= now) {
+    apply(plan_.events[next_event_]);
+    ++next_event_;
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  arch::Machine& m = rt_->machine();
+  ++m.perf().faults_injected;
+  switch (e.kind) {
+    case FaultEvent::Kind::kLinkDown:
+      m.rings().set_link_alive(e.ring, e.node, false);
+      break;
+    case FaultEvent::Kind::kLinkUp:
+      m.rings().set_link_alive(e.ring, e.node, true);
+      break;
+    case FaultEvent::Kind::kLinkDegrade:
+      m.rings().set_link_degrade(e.ring, e.node, e.degrade);
+      break;
+    case FaultEvent::Kind::kCpuFail:
+      if (!failed_cpus_[e.cpu]) {
+        failed_cpus_[e.cpu] = true;
+        // The dead CPU's cache contents are gone; clear its directory
+        // presence so the protocol never waits on a fail-stopped sharer.
+        m.flush_l1(e.cpu);
+      }
+      break;
+    case FaultEvent::Kind::kPvmLoss:
+      loss_active_ = e.drop_p > 0 || e.dup_p > 0 || e.delay_p > 0;
+      drop_p_ = e.drop_p;
+      dup_p_ = e.dup_p;
+      delay_p_ = e.delay_p;
+      delay_ns_ = e.delay_ns;
+      break;
+  }
+}
+
+MessageFate FaultInjector::message_fate(sim::Time now) {
+  poll(now);
+  if (!loss_active_) return MessageFate{};
+  arch::PerfCounters& perf = rt_->machine().perf();
+  const double u = rng_.next_double();
+  if (u < drop_p_) {
+    ++perf.faults_injected;
+    ++perf.pvm_msgs_dropped;
+    return {MessageFate::Kind::kDrop, 0};
+  }
+  if (u < drop_p_ + dup_p_) {
+    ++perf.faults_injected;
+    ++perf.pvm_msgs_duplicated;
+    return {MessageFate::Kind::kDuplicate, 0};
+  }
+  if (u < drop_p_ + dup_p_ + delay_p_) {
+    ++perf.faults_injected;
+    ++perf.pvm_msgs_delayed;
+    return {MessageFate::Kind::kDelay, delay_ns_};
+  }
+  return MessageFate{};
+}
+
+}  // namespace spp::fault

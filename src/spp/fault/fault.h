@@ -1,0 +1,154 @@
+// Deterministic fault injection and recovery for the simulated SPP-1000.
+//
+// The paper evaluates a perfect machine; a production descendant must also
+// answer "what happens when the fabric misbehaves?".  This subsystem injects
+// three fault classes against the layered interconnect, each paired with the
+// recovery mechanism that keeps applications running (docs/FAULTS.md):
+//
+//   * SCI ring links die or degrade at scheduled simulated times;
+//     sci::RingFabric detours packets onto surviving rings and charges the
+//     extra hops (strictly slower than the healthy path, never wrong).
+//   * PVM messages are dropped, duplicated, or delayed; pvm::Pvm switches to
+//     an ack/retransmit transport with bounded exponential backoff, so round
+//     trips complete under loss and every retry is visible in the counters.
+//   * CPUs fail-stop; spp::rt migrates their threads to surviving CPUs at
+//     the next charged operation (cold caches price the move), so fork-join
+//     work redistributes instead of hanging.
+//
+// Everything is driven by one spp::sim::Rng seeded from the plan, and the
+// conductor serializes all decisions, so a given (seed, plan, workload)
+// triple is bit-reproducible.  With no injector attached -- or an empty
+// plan -- every hook is a null pointer test and no simulated timing changes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "spp/arch/machine.h"
+#include "spp/rt/runtime.h"
+#include "spp/sim/rng.h"
+#include "spp/sim/time.h"
+
+namespace spp::fault {
+
+/// Malformed fault plan or configuration: fail loudly up front rather than
+/// simulate garbage.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A reliable PVM transfer exhausted its bounded retransmission budget.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One scheduled fault.  Fields beyond (kind, at) are kind-specific.
+struct FaultEvent {
+  enum class Kind {
+    kLinkDown,     ///< kill SCI link (ring, node).
+    kLinkUp,       ///< revive SCI link (ring, node).
+    kLinkDegrade,  ///< run link (ring, node) at 1/degrade rate.
+    kCpuFail,      ///< fail-stop processor `cpu`.
+    kPvmLoss,      ///< switch message-fault regime to (drop, dup, delay).
+  };
+
+  Kind kind = Kind::kLinkDown;
+  sim::Time at = 0;              ///< simulated time the fault strikes.
+  unsigned ring = 0;             ///< link events.
+  unsigned node = 0;             ///< link events.
+  std::uint32_t degrade = 1;     ///< kLinkDegrade; 1 restores full rate.
+  unsigned cpu = 0;              ///< kCpuFail.
+  double drop_p = 0;             ///< kPvmLoss: P(message lost).
+  double dup_p = 0;              ///< kPvmLoss: P(message duplicated).
+  double delay_p = 0;            ///< kPvmLoss: P(message delayed).
+  sim::Time delay_ns = 0;        ///< kPvmLoss: added delivery delay.
+};
+
+/// A seed plus a time-ordered fault schedule.  Build programmatically with
+/// the chainable helpers or parse the text format of docs/FAULTS.md.
+struct FaultPlan {
+  std::uint64_t seed = 0x5BB1000FA017ull;
+  std::vector<FaultEvent> events;
+
+  FaultPlan& link_down(sim::Time at, unsigned ring, unsigned node);
+  FaultPlan& link_up(sim::Time at, unsigned ring, unsigned node);
+  FaultPlan& link_degrade(sim::Time at, unsigned ring, unsigned node,
+                          std::uint32_t factor);
+  FaultPlan& cpu_fail(sim::Time at, unsigned cpu);
+  FaultPlan& pvm_loss(sim::Time at, double drop_p, double dup_p,
+                      double delay_p, sim::Time delay_ns);
+
+  /// True if any kPvmLoss event exists: Pvm then runs its reliable
+  /// (ack + retransmit) transport for the whole run, so the protocol cost
+  /// is uniform rather than appearing mid-stream.
+  bool has_message_faults() const;
+
+  /// Checks every event against the machine shape and probability axioms;
+  /// throws ConfigError on the first violation.
+  void validate(const arch::Topology& topo) const;
+
+  /// Parses the text plan format (docs/FAULTS.md); throws ConfigError naming
+  /// the offending line.
+  static FaultPlan parse(const std::string& text);
+  static FaultPlan from_file(const std::string& path);
+};
+
+/// The chaos layer's decision for one message.
+struct MessageFate {
+  enum class Kind { kDeliver, kDrop, kDuplicate, kDelay };
+  Kind kind = Kind::kDeliver;
+  sim::Time delay = 0;  ///< kDelay: extra delivery latency.
+};
+
+/// Applies a FaultPlan to one Runtime: schedules link/CPU events into the
+/// machine as simulated time passes and makes per-message chaos decisions
+/// for Pvm.  Attach exactly one injector per runtime.
+class FaultInjector final : public rt::FaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Validates the plan against the runtime's topology and installs the
+  /// charged-operation hook.  A Pvm constructed afterwards on this runtime
+  /// picks the injector up automatically.
+  void attach(rt::Runtime& rt);
+  /// Uninstalls the hook (also done on destruction).
+  void detach();
+
+  // --- rt::FaultHook --------------------------------------------------------
+  void poll(sim::Time now) override;
+  bool cpu_failed(unsigned cpu) const override;
+
+  /// True if the plan contains message faults (see FaultPlan).
+  bool reliable_transport() const { return has_message_faults_; }
+
+  /// Chaos decision for one message sent at `now`: applies pending events,
+  /// then consumes the injector's RNG against the active loss regime.
+  MessageFate message_fate(sim::Time now);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t events_applied() const { return next_event_; }
+
+ private:
+  void apply(const FaultEvent& e);
+
+  FaultPlan plan_;
+  sim::Rng rng_;
+  rt::Runtime* rt_ = nullptr;
+  std::size_t next_event_ = 0;
+  std::vector<bool> failed_cpus_;
+  bool has_message_faults_ = false;
+  // Active message-loss regime (latest kPvmLoss event at or before now).
+  bool loss_active_ = false;
+  double drop_p_ = 0, dup_p_ = 0, delay_p_ = 0;
+  sim::Time delay_ns_ = 0;
+};
+
+}  // namespace spp::fault

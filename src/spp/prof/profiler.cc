@@ -83,4 +83,28 @@ void Profiler::memory_map(std::FILE* out) const {
   }
 }
 
+void Profiler::fault_report(std::FILE* out) const {
+  const arch::PerfCounters& p = rt_->machine().perf();
+  if (p.faults_injected == 0 && p.cpu_recoveries == 0 &&
+      p.ring_reroutes == 0 && p.pvm_retries == 0) {
+    std::fprintf(out, "faults: none injected\n");
+    return;
+  }
+  auto row = [out](const char* name, unsigned long long v) {
+    std::fprintf(out, "%-24s %12llu\n", name, v);
+  };
+  std::fprintf(out, "%-24s %12s\n", "fault/recovery", "count");
+  row("faults_injected", p.faults_injected);
+  row("pvm_msgs_dropped", p.pvm_msgs_dropped);
+  row("pvm_msgs_duplicated", p.pvm_msgs_duplicated);
+  row("pvm_msgs_delayed", p.pvm_msgs_delayed);
+  row("pvm_retries", p.pvm_retries);
+  row("pvm_retransmitted_bytes", p.pvm_retransmitted_bytes);
+  row("ring_reroutes", p.ring_reroutes);
+  row("ring_reroute_hops", p.ring_reroute_hops);
+  row("cpu_recoveries", p.cpu_recoveries);
+  std::fprintf(out, "%-24s %12.3f\n", "recovery_ms",
+               sim::to_seconds(p.recovery_ns) * 1e3);
+}
+
 }  // namespace spp::prof

@@ -74,6 +74,10 @@ class Profiler {
   /// Prints the machine's allocation map (region, class, size, home).
   void memory_map(std::FILE* out = stdout) const;
 
+  /// Prints the fault-injection and recovery counters (docs/FAULTS.md).
+  /// Prints a single "no faults" line when the run was fault-free.
+  void fault_report(std::FILE* out = stdout) const;
+
  private:
   struct OpenPhase {
     sim::Time t0 = 0;

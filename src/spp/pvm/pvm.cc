@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "spp/arch/address.h"
+#include "spp/fault/fault.h"
 
 namespace spp::pvm {
 
@@ -24,6 +25,8 @@ Pvm::Pvm(rt::Runtime& rt) : rt_(&rt) {
   pool_va_ = rt.alloc(pool_bytes_, arch::MemClass::kFarShared, "pvm.pool");
   mailbox_va_ = rt.alloc(128 * arch::kLineBytes, arch::MemClass::kFarShared,
                          "pvm.mailboxes");
+  // Pick up a chaos source if one is already attached to the runtime.
+  fault_ = dynamic_cast<fault::FaultInjector*>(rt.fault_hook());
 }
 
 int Pvm::mytid() const {
@@ -87,42 +90,140 @@ void Pvm::send(int dst, int tag, Message m) {
   rt_->conductor().yield();
 
   const arch::CostModel& cm = rt_->cost();
-  th.advance(cm.pvm_send_sw);
-  th.set_clock(transport_cost(m.size_bytes(), sender.cpu_, receiver.cpu_,
-                              th.clock(), /*sender_side=*/true));
-
-  // Control traffic: enqueue on the receiver's mailbox line (a genuine
-  // coherent write that shows up in the hardware counters).
-  const arch::VAddr mailbox_line =
-      mailbox_va_ + static_cast<arch::VAddr>(dst % 128) * arch::kLineBytes;
-  th.set_clock(
-      rt_->machine().access(th.cpu(), mailbox_line, true, th.clock()));
+  // Reliable transport engages only when an injector with message faults is
+  // attached; otherwise every charge below is bit-identical to the plain
+  // fire-and-forget path.
+  const bool reliable = fault_ != nullptr && fault_->reliable_transport();
 
   auto msg = std::make_shared<Message>(std::move(m));
   msg->tag = tag;
   msg->sender = me;
-  // Reserve the payload's home in the shared pool; the sender's own pages
-  // are used ("a sending process packs data into a shared memory buffer"),
-  // so the receiver's unpack reads remotely when we are on another node.
-  // Per-task pool slices keep senders from aliasing each other's lines.
-  const std::uint64_t slice = pool_bytes_ / (tasks_.size() + 1);
-  const std::uint64_t need =
-      (msg->size_bytes() + arch::kLineBytes - 1) / arch::kLineBytes *
-      arch::kLineBytes;
-  std::uint64_t& cur = pool_cursor_by_task_[me];
-  if (cur + need > slice) cur = 0;
-  msg->pool_va_ = pool_va_ + static_cast<std::uint64_t>(me) * slice + cur;
-  cur += need;
-  receiver.mailbox_.push_back(msg);
-  ++messages_sent_;
-  bytes_sent_ += msg->size_bytes();
+  msg->seq_ = next_seq_++;
 
-  if (receiver.waiting_ != nullptr &&
-      matches(*msg, receiver.waiting_src_, receiver.waiting_tag_)) {
-    rt::SThread* waiter = receiver.waiting_;
-    receiver.waiting_ = nullptr;
-    rt_->conductor().unblock(waiter, th.clock());
+  const arch::VAddr mailbox_line =
+      mailbox_va_ + static_cast<arch::VAddr>(dst % 128) * arch::kLineBytes;
+
+  sim::Time timeout = cm.pvm_retry_timeout;
+  for (unsigned attempt = 0;; ++attempt) {
+    // The full send path is paid on every attempt: a retransmission re-runs
+    // the send software, re-packs, and re-writes the mailbox control line.
+    th.advance(cm.pvm_send_sw);
+    th.set_clock(transport_cost(msg->size_bytes(), sender.cpu_, receiver.cpu_,
+                                th.clock(), /*sender_side=*/true));
+    // Control traffic: enqueue on the receiver's mailbox line (a genuine
+    // coherent write that shows up in the hardware counters).
+    th.set_clock(
+        rt_->machine().access(th.cpu(), mailbox_line, true, th.clock()));
+
+    if (attempt == 0) {
+      // Reserve the payload's home in the shared pool; the sender's own
+      // pages are used ("a sending process packs data into a shared memory
+      // buffer"), so the receiver's unpack reads remotely when we are on
+      // another node.  Per-task pool slices keep senders from aliasing each
+      // other's lines.
+      const std::uint64_t slice = pool_bytes_ / (tasks_.size() + 1);
+      const std::uint64_t need =
+          (msg->size_bytes() + arch::kLineBytes - 1) / arch::kLineBytes *
+          arch::kLineBytes;
+      std::uint64_t& cur = pool_cursor_by_task_[me];
+      if (cur + need > slice) cur = 0;
+      msg->pool_va_ = pool_va_ + static_cast<std::uint64_t>(me) * slice + cur;
+      cur += need;
+      ++messages_sent_;
+      bytes_sent_ += msg->size_bytes();
+    } else {
+      arch::PerfCounters& perf = rt_->machine().perf();
+      ++perf.pvm_retries;
+      perf.pvm_retransmitted_bytes += msg->size_bytes();
+    }
+
+    // Chaos decision for this attempt.  A drop loses both the message and
+    // its transport-level ack; any delivered attempt acks.
+    fault::MessageFate fate;
+    if (fault_ != nullptr) fate = fault_->message_fate(th.clock());
+
+    if (fate.kind != fault::MessageFate::Kind::kDrop) {
+      msg->visible_at_ = fate.kind == fault::MessageFate::Kind::kDelay
+                             ? th.clock() + fate.delay
+                             : 0;
+      receiver.mailbox_.push_back(msg);
+      if (fate.kind == fault::MessageFate::Kind::kDuplicate) {
+        // The wire duplicated the transfer: a second, independent copy lands
+        // in the mailbox.  recv() dedups it by sequence number.
+        receiver.mailbox_.push_back(std::make_shared<Message>(*msg));
+      }
+      if (reliable) {
+        sender.acks_[msg->seq_] = th.clock() + cm.pvm_ack_sw;
+      }
+      if (receiver.waiting_ != nullptr &&
+          matches(*msg, receiver.waiting_src_, receiver.waiting_tag_)) {
+        rt::SThread* waiter = receiver.waiting_;
+        receiver.waiting_ = nullptr;
+        rt_->conductor().unblock(waiter,
+                                 std::max(th.clock(), msg->visible_at_));
+      }
+    }
+
+    if (!reliable) return;  // Fire-and-forget: done after one attempt.
+
+    // Spin for the transport ack (advance + yield, same pattern as the
+    // barrier spin loop) until the backed-off deadline.
+    const sim::Time deadline = th.clock() + timeout;
+    for (;;) {
+      auto ack = sender.acks_.find(msg->seq_);
+      if (ack != sender.acks_.end() && ack->second <= th.clock()) {
+        sender.acks_.erase(ack);
+        return;
+      }
+      if (th.clock() >= deadline) break;
+      th.advance(cm.spin_poll_interval);
+      rt_->conductor().yield();
+    }
+    if (attempt >= cm.pvm_max_retries) {
+      throw fault::TimeoutError(
+          "pvm: send to task " + std::to_string(dst) + " timed out after " +
+          std::to_string(cm.pvm_max_retries) + " retransmissions");
+    }
+    timeout *= cm.pvm_retry_backoff;  // Bounded exponential backoff.
   }
+}
+
+std::shared_ptr<Message> Pvm::take_match(Task& task, int src, int tag) {
+  for (;;) {
+    auto it = std::find_if(
+        task.mailbox_.begin(), task.mailbox_.end(),
+        [&](const auto& m) { return matches(*m, src, tag); });
+    if (it == task.mailbox_.end()) return nullptr;
+    std::shared_ptr<Message> msg = *it;
+    task.mailbox_.erase(it);
+    if (fault_ != nullptr && fault_->reliable_transport()) {
+      // Transport-level duplicate: the payload already reached the task
+      // once, so discard silently and keep scanning.
+      if (!task.delivered_.insert(msg->seq_).second) continue;
+    }
+    return msg;
+  }
+}
+
+Message Pvm::deliver(Task& task, std::shared_ptr<Message> msg,
+                     rt::SThread& th) {
+  const arch::CostModel& cm = rt_->cost();
+  // A delayed message is matched but not yet visible: wait it out.
+  if (msg->visible_at_ > th.clock()) th.set_clock(msg->visible_at_);
+  // Receive software path runs once the message is available (charging
+  // it before blocking would let the wait absorb it).
+  th.advance(cm.pvm_recv_sw);
+  // Arm payload charging: unpack() reads the sender's pool buffer.
+  msg->charged_rt_ = rt_;
+  // Read the mailbox control line, then stream the payload out.
+  const arch::VAddr mailbox_line =
+      mailbox_va_ +
+      static_cast<arch::VAddr>(task.tid_ % 128) * arch::kLineBytes;
+  th.set_clock(
+      rt_->machine().access(th.cpu(), mailbox_line, false, th.clock()));
+  th.set_clock(transport_cost(msg->size_bytes(), tasks_[msg->sender]->cpu_,
+                              task.cpu_, th.clock(), /*sender_side=*/false));
+  return std::move(*msg);
 }
 
 Message Pvm::recv(int src, int tag) {
@@ -131,35 +232,40 @@ Message Pvm::recv(int src, int tag) {
   rt::SThread& th = rt::Conductor::self();
   rt_->conductor().yield();
 
-  const arch::CostModel& cm = rt_->cost();
-
   for (;;) {
-    auto it = std::find_if(
-        task.mailbox_.begin(), task.mailbox_.end(),
-        [&](const auto& m) { return matches(*m, src, tag); });
-    if (it != task.mailbox_.end()) {
-      std::shared_ptr<Message> msg = *it;
-      task.mailbox_.erase(it);
-      // Receive software path runs once the message is available (charging
-      // it before blocking would let the wait absorb it).
-      th.advance(cm.pvm_recv_sw);
-      // Arm payload charging: unpack() reads the sender's pool buffer.
-      msg->charged_rt_ = rt_;
-      // Read the mailbox control line, then stream the payload out.
-      const arch::VAddr mailbox_line =
-          mailbox_va_ + static_cast<arch::VAddr>(me % 128) * arch::kLineBytes;
-      th.set_clock(
-          rt_->machine().access(th.cpu(), mailbox_line, false, th.clock()));
-      th.set_clock(transport_cost(msg->size_bytes(),
-                                  tasks_[msg->sender]->cpu_, task.cpu_,
-                                  th.clock(), /*sender_side=*/false));
-      return std::move(*msg);
+    if (std::shared_ptr<Message> msg = take_match(task, src, tag)) {
+      return deliver(task, std::move(msg), th);
     }
     // Nothing yet: block until a matching send wakes us.
     task.waiting_ = &th;
     task.waiting_src_ = src;
     task.waiting_tag_ = tag;
     rt_->conductor().block();
+  }
+}
+
+Message Pvm::recv_timeout(int src, int tag, sim::Time timeout) {
+  const int me = mytid();
+  Task& task = *tasks_[me];
+  rt::SThread& th = rt::Conductor::self();
+  rt_->conductor().yield();
+
+  const arch::CostModel& cm = rt_->cost();
+  const sim::Time deadline = th.clock() + timeout;
+  for (;;) {
+    if (std::shared_ptr<Message> msg = take_match(task, src, tag)) {
+      return deliver(task, std::move(msg), th);
+    }
+    if (th.clock() >= deadline) {
+      throw fault::TimeoutError("pvm: recv(src=" + std::to_string(src) +
+                                ", tag=" + std::to_string(tag) +
+                                ") timed out after " +
+                                std::to_string(timeout) + " ns");
+    }
+    // Charged spin-poll: keeps the conductor live (a timed-out receiver
+    // must never trip the all-blocked deadlock detector).
+    th.advance(cm.spin_poll_interval);
+    rt_->conductor().yield();
   }
 }
 

@@ -26,11 +26,17 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "spp/rt/conductor.h"
 #include "spp/rt/runtime.h"
 #include "spp/sim/time.h"
+
+namespace spp::fault {
+class FaultInjector;
+}
 
 namespace spp::pvm {
 
@@ -78,6 +84,8 @@ class Message {
   std::size_t cursor_ = 0;
   rt::Runtime* charged_rt_ = nullptr;  ///< set by recv(); null = local build.
   std::uint64_t pool_va_ = 0;          ///< pool address of this payload.
+  std::uint64_t seq_ = 0;              ///< global sequence (reliable mode).
+  sim::Time visible_at_ = 0;           ///< delayed delivery time, 0 = now.
 };
 
 class Pvm;
@@ -96,6 +104,10 @@ class Task {
   rt::SThread* waiting_ = nullptr;  ///< blocked in recv, if any.
   int waiting_tag_ = -1;
   int waiting_src_ = -1;
+  // Reliable-transport state (only touched when a FaultInjector with message
+  // faults is attached; plain runs never allocate into these).
+  std::unordered_set<std::uint64_t> delivered_;  ///< seqs seen (dedup).
+  std::unordered_map<std::uint64_t, sim::Time> acks_;  ///< seq -> ack time.
 };
 
 /// The PVM "virtual machine": spawn, send, recv on the simulated SPP-1000.
@@ -127,6 +139,12 @@ class Pvm {
   /// Blocks until one arrives.  Charges the receive path.
   Message recv(int src = -1, int tag = -1);
 
+  /// recv with a deadline: spin-polls (charged) for up to `timeout` ns of
+  /// simulated time, then throws fault::TimeoutError.  Lets applications
+  /// bound their exposure to a lossy or partitioned fabric instead of
+  /// blocking forever.
+  Message recv_timeout(int src, int tag, sim::Time timeout);
+
   /// Non-blocking probe: true if a matching message is queued.
   bool probe(int src = -1, int tag = -1) const;
 
@@ -138,6 +156,13 @@ class Pvm {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Routes message fates (drop/duplicate/delay) through `injector` and turns
+  /// on the reliable transport (acks + bounded-backoff retransmission) when
+  /// the injector's plan contains message faults.  Pass nullptr to restore
+  /// the plain fire-and-forget transport.  The Pvm constructor wires this
+  /// automatically when the runtime already carries an attached injector.
+  void set_fault(fault::FaultInjector* injector) { fault_ = injector; }
+
  private:
   struct Match;
   bool matches(const Message& m, int src, int tag) const {
@@ -147,6 +172,13 @@ class Pvm {
   /// `t`; returns delivery time.
   sim::Time transport_cost(std::size_t bytes, unsigned src_cpu,
                            unsigned dst_cpu, sim::Time t, bool sender_side);
+  /// Takes the first matching visible message out of `task`'s mailbox
+  /// (discarding transport duplicates), or returns nullptr.
+  std::shared_ptr<Message> take_match(Task& task, int src, int tag);
+  /// Charges the delivery path for a message already removed from the
+  /// mailbox and hands it to the application.
+  Message deliver(Task& task, std::shared_ptr<Message> msg,
+                  rt::SThread& th);
 
   rt::Runtime* rt_;
   std::vector<std::unique_ptr<Task>> tasks_;
@@ -156,6 +188,8 @@ class Pvm {
   std::vector<std::uint64_t> pool_cursor_by_task_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  fault::FaultInjector* fault_ = nullptr;  ///< optional chaos source.
+  std::uint64_t next_seq_ = 1;             ///< reliable-mode sequence counter.
   static thread_local int current_tid_;
 };
 

@@ -40,9 +40,9 @@ void SThread::os_body() {
   } catch (const ShutdownSignal&) {
     // Conductor-initiated teardown: exit quietly.
   } catch (...) {
-    // A simulated thread must never unwind into the OS thread shim; treat
-    // exceptions as fatal for the whole simulation.
-    std::terminate();
+    // A simulated thread must never unwind into the OS thread shim; park the
+    // exception so the conductor can rethrow it to Conductor::run's caller.
+    error_ = std::current_exception();
   }
   g_current = nullptr;
   // Final hand-back: mark done; conductor joins us later.
@@ -154,6 +154,12 @@ void Conductor::loop() {
         break;
       case SThread::State::kDone:
         --live_;
+        if (t->error_) {
+          // The thread died on an application exception: the simulation
+          // cannot meaningfully continue.  run() shuts the rest down and
+          // rethrows to its caller.
+          std::rethrow_exception(t->error_);
+        }
         break;
       case SThread::State::kRunning:
         throw std::logic_error("thread handed back while Running");

@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,11 @@ class SThread {
   /// Advances local time without a scheduling point.
   void advance(sim::Time dt) { clock_ += dt; }
   void set_clock(sim::Time t) { clock_ = t; }
+
+  /// Rebinds the thread to another CPU (fault migration off a fail-stopped
+  /// processor).  Subsequent charged accesses use the new CPU's L1, so the
+  /// cold-cache cost of the move is modeled, not assumed.
+  void rebind_cpu(unsigned cpu) { cpu_ = cpu; }
 
   /// Simulated time of the last scheduling point (quantum bookkeeping).
   sim::Time last_yield() const { return last_yield_; }
@@ -73,6 +79,7 @@ class SThread {
   bool may_run_ = false;      // conductor -> thread
   bool handed_back_ = false;  // thread -> conductor
   bool shutdown_ = false;     // conductor -> thread: unwind and exit
+  std::exception_ptr error_;  // exception that escaped fn_, if any
   std::thread os_;
 };
 
@@ -89,6 +96,9 @@ class Conductor {
 
   /// Runs `main_fn` as simulated thread 0 on `cpu` and drives the scheduling
   /// loop until every simulated thread has finished.  Throws on deadlock.
+  /// An exception escaping any simulated thread (e.g. fault::TimeoutError
+  /// from an unrecoverable fault plan) tears the simulation down and is
+  /// rethrown here.
   void run(std::function<void()> main_fn, unsigned cpu = 0,
            sim::Time start = 0);
 

@@ -43,9 +43,33 @@ void Runtime::run(const std::function<void()>& fn) {
   active_ = prev_active_;
 }
 
+void Runtime::poll_faults(SThread& me) {
+  if (fault_hook_ == nullptr) return;
+  fault_hook_->poll(me.clock());
+  if (!fault_hook_->cpu_failed(me.cpu())) return;
+  // The thread's processor fail-stopped: the OS detects the failure and
+  // restarts the thread on a surviving CPU.  Its remaining work migrates
+  // with it, and the new CPU's cold L1 charges the refill traffic naturally.
+  me.rebind_cpu(surviving_cpu(me.cpu()));
+  const sim::Time cost = machine_.cost().cpu_recovery_sw;
+  me.advance(cost);
+  ++machine_.perf().cpu_recoveries;
+  machine_.perf().recovery_ns += cost;
+}
+
+unsigned Runtime::surviving_cpu(unsigned cpu) const {
+  const unsigned n = machine_.topo().num_cpus();
+  for (unsigned k = 1; k <= n; ++k) {
+    const unsigned c = (cpu + k) % n;
+    if (!fault_hook_->cpu_failed(c)) return c;
+  }
+  throw std::runtime_error("fault: every CPU has fail-stopped");
+}
+
 void Runtime::work_flops(double n) {
   SThread& me = Conductor::self();
   conductor_.quantum_yield();
+  poll_faults(me);
   me.advance(sim::cycles(machine_.cost().flop_cycles(n)));
   auto& c = machine_.perf().cpu[me.cpu()];
   c.flops += n;
@@ -55,6 +79,7 @@ void Runtime::work_flops(double n) {
 void Runtime::work_ops(double n) {
   SThread& me = Conductor::self();
   conductor_.quantum_yield();
+  poll_faults(me);
   const sim::Time dt = sim::cycles(machine_.cost().intop_cycles(n));
   me.advance(dt);
   machine_.perf().cpu[me.cpu()].compute += dt;
@@ -63,36 +88,49 @@ void Runtime::work_ops(double n) {
 void Runtime::read(arch::VAddr va, std::uint64_t bytes) {
   SThread& me = Conductor::self();
   conductor_.quantum_yield();
+  poll_faults(me);
   me.set_clock(machine_.access_block(me.cpu(), va, bytes, false, me.clock()));
 }
 
 void Runtime::write(arch::VAddr va, std::uint64_t bytes) {
   SThread& me = Conductor::self();
   conductor_.quantum_yield();
+  poll_faults(me);
   me.set_clock(machine_.access_block(me.cpu(), va, bytes, true, me.clock()));
 }
 
 unsigned Runtime::place_cpu(unsigned i, unsigned n, Placement placement) const {
   const arch::Topology& topo = machine_.topo();
+  unsigned cpu;
   switch (placement) {
     case Placement::kHighLocality:
-      return i % topo.num_cpus();
+      cpu = i % topo.num_cpus();
+      break;
     case Placement::kUniform: {
       // Deal threads across hypernodes round-robin; fill each node's CPUs in
       // order as it receives threads.
       const unsigned node = i % topo.nodes;
       const unsigned slot = (i / topo.nodes) % arch::kCpusPerNode;
-      return node * arch::kCpusPerNode + slot;
+      cpu = node * arch::kCpusPerNode + slot;
+      break;
     }
+    default:
+      (void)n;
+      throw std::logic_error("bad placement");
   }
-  (void)n;
-  throw std::logic_error("bad placement");
+  // Never place new threads on a fail-stopped processor.
+  if (fault_hook_ != nullptr && fault_hook_->cpu_failed(cpu)) {
+    cpu = surviving_cpu(cpu);
+  }
+  return cpu;
 }
 
 std::vector<SThread*> Runtime::spawn_group(
     unsigned n, Placement placement,
     const std::function<void(unsigned, unsigned)>& body, AsyncGroup& out) {
   SThread& parent = Conductor::self();
+  // Apply faults due by now so placement below sees the surviving CPU set.
+  poll_faults(parent);
   const arch::CostModel& cm = machine_.cost();
   const arch::Topology& topo = machine_.topo();
   const unsigned parent_node = topo.node_of_cpu(parent.cpu());

@@ -39,6 +39,20 @@ enum class Placement {
   kUniform,
 };
 
+/// Hook by which a fault injector (spp::fault) observes charged operations
+/// and marks processors fail-stopped.  The runtime polls it at charged
+/// scheduling points and migrates threads found on a failed CPU to a
+/// surviving one (graceful degradation instead of a hang); a null hook costs
+/// one pointer test and changes no simulated timing.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// Applies every fault scheduled at or before `now`.
+  virtual void poll(sim::Time now) = 0;
+  /// True if `cpu` has fail-stopped.
+  virtual bool cpu_failed(unsigned cpu) const = 0;
+};
+
 /// Handle for asynchronous thread groups (section 3.2's async threads).
 class AsyncGroup {
  public:
@@ -114,11 +128,22 @@ class Runtime {
   /// Blocks until an async group has finished and charges reap costs.
   void join(AsyncGroup& group);
 
+  /// Installs (or clears, with nullptr) the fault hook.  The hook must
+  /// outlive every run() that executes under it.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
  private:
+  /// Applies pending faults and migrates the thread off a failed CPU.
+  void poll_faults(SThread& me);
+  /// Deterministic surviving CPU for a thread found on failed `cpu`.
+  unsigned surviving_cpu(unsigned cpu) const;
+
   arch::Machine machine_;
   Conductor conductor_;
   sim::Time end_time_ = 0;
   Runtime* prev_active_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
 
   static Runtime* active_;
 

@@ -54,8 +54,21 @@ class Rng {
     return lo + (hi - lo) * next_double();
   }
 
-  /// Uniform integer in [0, n).  n must be nonzero.
-  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+  /// Uniform integer in [0, n).  n must be nonzero.  Unbiased: Lemire's
+  /// multiply-shift method with rejection of the short leading interval
+  /// (a plain modulo skews small values whenever n does not divide 2^64).
+  std::uint64_t below(std::uint64_t n) {
+    unsigned __int128 m = static_cast<unsigned __int128>(next_u64()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next_u64()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Standard normal via Box-Muller (cached second deviate).
   double gaussian() {

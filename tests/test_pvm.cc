@@ -42,6 +42,74 @@ TEST(PvmMessage, UnpackPastEndThrows) {
   EXPECT_THROW(m.unpack(y, 2), std::out_of_range);
 }
 
+TEST(PvmMessage, ZeroLengthPayloadDelivers) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  bool got = false;
+  std::size_t got_bytes = 99;
+  rt.run([&] {
+    Pvm vm(rt);
+    vm.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
+      if (me == 0) {
+        vm.send(1, 3, Message{});  // bare signal, no payload.
+      } else {
+        Message m = vm.recv(0, 3);
+        got = true;
+        got_bytes = m.size_bytes();
+        double d;
+        m.unpack(&d, 0);  // zero-count unpack is a no-op, not an error.
+        EXPECT_THROW(m.unpack(&d, 1), std::out_of_range);
+      }
+    });
+  });
+  EXPECT_TRUE(got);
+  EXPECT_EQ(got_bytes, 0u);
+}
+
+TEST(PvmMessage, InterleavedPackUnpack) {
+  // The cursor tracks consumption independently of appends: packing more
+  // after a partial unpack must not disturb what is still unread.
+  Message m;
+  const int a[2] = {1, 2};
+  m.pack(a, 2);
+  int v = 0;
+  m.unpack(&v, 1);
+  EXPECT_EQ(v, 1);
+  const int b = 3;
+  m.pack(&b, 1);
+  EXPECT_EQ(m.remaining(), 2 * sizeof(int));
+  m.unpack(&v, 1);
+  EXPECT_EQ(v, 2);
+  m.unpack(&v, 1);
+  EXPECT_EQ(v, 3);
+  EXPECT_EQ(m.remaining(), 0u);
+}
+
+TEST(PvmMessage, CrossNodeRecvChargesRemoteReads) {
+  // The receiver unpacks straight out of the sender's pool pages: on one
+  // node that is local traffic, across hypernodes it must show up as remote
+  // misses in the hardware counters.
+  auto remote_misses = [](unsigned nodes, Placement placement) {
+    rt::Runtime rt(Topology{.nodes = nodes});
+    rt.run([&] {
+      Pvm vm(rt);
+      vm.spawn(2, placement, [&](Pvm& vm, int me, int) {
+        std::vector<double> buf(512, 1.0);
+        if (me == 0) {
+          Message m;
+          m.pack(buf.data(), buf.size());
+          vm.send(1, 1, std::move(m));
+        } else {
+          Message m = vm.recv(0, 1);
+          m.unpack(buf.data(), buf.size());
+        }
+      });
+    });
+    return rt.machine().perf().total().miss_remote;
+  };
+  EXPECT_EQ(remote_misses(1, Placement::kHighLocality), 0u);
+  EXPECT_GT(remote_misses(2, Placement::kUniform), 0u);
+}
+
 TEST(Pvm, PingPong) {
   rt::Runtime rt(Topology{.nodes = 1});
   double received = 0;

@@ -4,7 +4,12 @@
 //   sppsim-explore forkjoin [--nodes N] [--threads T]
 //   sppsim-explore barrier  [--nodes N] [--threads T]
 //   sppsim-explore message  [--nodes N] [--bytes B]
+//   sppsim-explore chaos    [--nodes N] [--bytes B] [--rounds R]
 //   sppsim-explore map      [--nodes N]
+//
+// Any runtime-backed command accepts --fault-plan FILE (docs/FAULTS.md) to
+// run under injected faults; `chaos` uses a built-in lossy plan when no file
+// is given and prints the fault/recovery counters afterwards.
 //
 // A release-style CLI for quick what-if questions ("what does the remote
 // miss cost on an 8-node machine with 256 KB caches?") without writing a
@@ -12,10 +17,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "spp/arch/machine.h"
+#include "spp/fault/fault.h"
+#include "spp/prof/profiler.h"
 #include "spp/pvm/pvm.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/sync.h"
@@ -30,6 +38,8 @@ struct Args {
   unsigned threads = 8;
   std::size_t bytes = 1024;
   std::uint64_t l1_kb = 1024;
+  unsigned rounds = 64;
+  std::string fault_plan;  ///< path to a text fault plan, "" = none.
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -45,9 +55,12 @@ struct Args {
       if (const char* v = val("--threads")) a.threads = std::atoi(v);
       if (const char* v = val("--bytes")) a.bytes = std::atoll(v);
       if (const char* v = val("--l1-kb")) a.l1_kb = std::atoll(v);
+      if (const char* v = val("--rounds")) a.rounds = std::atoi(v);
+      if (const char* v = val("--fault-plan")) a.fault_plan = v;
     }
     if (a.nodes < 1) a.nodes = 1;
     if (a.nodes > 16) a.nodes = 16;
+    if (a.rounds < 1) a.rounds = 1;
     return a;
   }
 };
@@ -56,6 +69,16 @@ arch::CostModel cost_for(const Args& a) {
   arch::CostModel cm;
   cm.l1_bytes = a.l1_kb << 10;
   return cm;
+}
+
+/// Loads --fault-plan and attaches it to `runtime`; null when flag absent.
+std::unique_ptr<fault::FaultInjector> injector_for(const Args& a,
+                                                   rt::Runtime& runtime) {
+  if (a.fault_plan.empty()) return nullptr;
+  auto inj = std::make_unique<fault::FaultInjector>(
+      fault::FaultPlan::from_file(a.fault_plan));
+  inj->attach(runtime);
+  return inj;
 }
 
 int cmd_latency(const Args& a) {
@@ -91,6 +114,7 @@ int cmd_latency(const Args& a) {
 
 int cmd_forkjoin(const Args& a) {
   rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  const auto inj = injector_for(a, runtime);
   runtime.run([&] {
     const sim::Time t0 = runtime.now();
     runtime.parallel(a.threads, rt::Placement::kUniform,
@@ -103,6 +127,7 @@ int cmd_forkjoin(const Args& a) {
 
 int cmd_barrier(const Args& a) {
   rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  const auto inj = injector_for(a, runtime);
   runtime.run([&] {
     rt::Barrier barrier(runtime, a.threads);
     sim::Time t0 = 0;
@@ -124,6 +149,7 @@ int cmd_barrier(const Args& a) {
 
 int cmd_message(const Args& a) {
   rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  const auto inj = injector_for(a, runtime);
   runtime.run([&] {
     pvm::Pvm vm(runtime);
     vm.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
@@ -143,6 +169,48 @@ int cmd_message(const Args& a) {
         vm.send(0, 2, std::move(m));
       }
     });
+  });
+  return 0;
+}
+
+int cmd_chaos(const Args& a) {
+  rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  fault::FaultPlan plan;
+  if (a.fault_plan.empty()) {
+    // Built-in demo plan: 1% loss from the start, one dead ring link and a
+    // degraded one partway in, and a CPU fail-stop if we have spares.
+    plan.pvm_loss(0, 0.01, 0.005, 0.005, 20000);
+    plan.link_down(1000000, 0, 0);
+    plan.link_degrade(1000000, 1, 0, 4);
+    if (runtime.topo().num_cpus() > 2) plan.cpu_fail(2000000, 1);
+  } else {
+    plan = fault::FaultPlan::from_file(a.fault_plan);
+  }
+  fault::FaultInjector inj(plan);
+  inj.attach(runtime);
+
+  runtime.run([&] {
+    pvm::Pvm vm(runtime);
+    vm.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+      std::vector<double> buf(a.bytes / 8 + 1, 1.0);
+      for (unsigned r = 0; r < a.rounds; ++r) {
+        if (me == 0) {
+          pvm::Message m;
+          m.pack(buf.data(), buf.size());
+          vm.send(1, 1, std::move(m));
+          vm.recv(1, 2);
+        } else {
+          pvm::Message m = vm.recv(0, 1);
+          m.tag = 2;
+          vm.send(0, 2, std::move(m));
+        }
+      }
+    });
+    std::printf("chaos: %u ping-pong rounds of %zu bytes survived "
+                "(%.2f ms simulated)\n\n",
+                a.rounds, a.bytes, sim::to_seconds(runtime.now()) * 1e3);
+    prof::Profiler prof(runtime, 2);
+    prof.fault_report();
   });
   return 0;
 }
@@ -167,13 +235,24 @@ int cmd_map(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args a = Args::parse(argc, argv);
-  if (a.cmd == "latency") return cmd_latency(a);
-  if (a.cmd == "forkjoin") return cmd_forkjoin(a);
-  if (a.cmd == "barrier") return cmd_barrier(a);
-  if (a.cmd == "message") return cmd_message(a);
-  if (a.cmd == "map") return cmd_map(a);
+  try {
+    if (a.cmd == "latency") return cmd_latency(a);
+    if (a.cmd == "forkjoin") return cmd_forkjoin(a);
+    if (a.cmd == "barrier") return cmd_barrier(a);
+    if (a.cmd == "message") return cmd_message(a);
+    if (a.cmd == "chaos") return cmd_chaos(a);
+    if (a.cmd == "map") return cmd_map(a);
+  } catch (const std::exception& e) {
+    // ConfigError for malformed plans; TimeoutError / runtime_error when a
+    // plan makes the machine unrecoverable (partitioned fabric, all CPUs
+    // dead, retries exhausted).  Either way: report, don't abort.
+    std::fprintf(stderr, "sppsim-explore: %s\n", e.what());
+    return 1;
+  }
   std::fprintf(stderr,
-               "usage: sppsim-explore latency|forkjoin|barrier|message|map "
-               "[--nodes N] [--threads T] [--bytes B] [--l1-kb K]\n");
+               "usage: sppsim-explore "
+               "latency|forkjoin|barrier|message|chaos|map "
+               "[--nodes N] [--threads T] [--bytes B] [--l1-kb K] "
+               "[--rounds R] [--fault-plan FILE]\n");
   return 2;
 }
