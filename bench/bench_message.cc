@@ -23,8 +23,8 @@ double round_trip_us(unsigned nodes, rt::Placement placement,
   rt::Runtime runtime(arch::Topology{.nodes = nodes});
   double best = 1e300;
   runtime.run([&] {
-    pvm::Pvm vm(runtime);
-    vm.spawn(2, placement, [&](pvm::Pvm& vm, int me, int) {
+    pvm::Pvm root(runtime);
+    root.spawn(2, placement, [&](pvm::Pvm& vm, int me, int) {
       std::vector<double> buf(bytes / 8, 1.0);
       if (me == 0) {
         for (unsigned k = 0; k < trials + 1; ++k) {

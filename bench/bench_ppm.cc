@@ -65,8 +65,8 @@ int main(int argc, char** argv) {
   std::printf("%10s %8s %6s | %10s %10s\n", "grid", "tiles", "procs",
               "Mflop/s", "paper");
   for (const Row& r : paper_rows) {
-    const auto nx = static_cast<std::size_t>(r.nx * shrink);
-    const auto ny = static_cast<std::size_t>(r.ny * shrink);
+    const auto nx = static_cast<std::size_t>(static_cast<double>(r.nx) * shrink);
+    const auto ny = static_cast<std::size_t>(static_cast<double>(r.ny) * shrink);
     const double mflops = run_case(nx, ny, r.tx, r.ty, r.procs, steps);
     char grid[32], tiles[16];
     std::snprintf(grid, sizeof grid, "%zux%zu", nx, ny);

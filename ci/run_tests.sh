@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 test gate: configure, build, and run the full ctest suite, first
-# plain and then under AddressSanitizer + UBSan (SPP_SANITIZE, see the
-# top-level CMakeLists.txt).  Either failing fails the gate.
+# plain, then under AddressSanitizer + UBSan, then under ThreadSanitizer
+# (SPP_SANITIZE, see the top-level CMakeLists.txt), and finally as a
+# -Werror strict-warnings build (SPP_WERROR).  Any leg failing fails the
+# gate.
 #
-# Usage: ci/run_tests.sh [--plain-only|--sanitize-only]
+# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,16 +20,28 @@ run_suite() {
   ctest --test-dir "$builddir" --output-on-failure -j "$JOBS"
 }
 
-if [[ "$MODE" != "--sanitize-only" ]]; then
+if [[ "$MODE" == "all" || "$MODE" == "--plain-only" ]]; then
   echo "=== tier-1: plain build ==="
   run_suite build
 fi
 
-if [[ "$MODE" != "--plain-only" ]]; then
+if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
   echo "=== tier-1: address,undefined sanitized build ==="
   run_suite build-asan \
     -DSPP_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
+  echo "=== tier-1: thread sanitized build ==="
+  run_suite build-tsan \
+    -DSPP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ "$MODE" == "all" || "$MODE" == "--werror-only" ]]; then
+  echo "=== tier-1: strict warnings (-Werror -Wshadow -Wconversion) ==="
+  run_suite build-werror -DSPP_WERROR=ON
 fi
 
 echo "=== tier-1: OK ==="

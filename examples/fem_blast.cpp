@@ -38,7 +38,7 @@ int main() {
     std::printf("  %.4f point updates/us, %.1f useful Mflop/s\n",
                 res.updates_per_usec, res.mflops);
     std::printf("  cache hit rate %.2f%%, %llu remote misses\n",
-                100.0 * tot.l1_hits / tot.accesses(),
+                100.0 * static_cast<double>(tot.l1_hits) / static_cast<double>(tot.accesses()),
                 static_cast<unsigned long long>(tot.miss_remote));
     std::printf("  conservation: mass drift %.2e, energy drift %.2e\n",
                 res.final.total_mass / res.initial.total_mass - 1.0,

@@ -24,7 +24,7 @@ void run_variant(bool balanced) {
   prof::Profiler prof(runtime, kThreads);
   rt::GlobalArray<double> a(runtime, kN, arch::MemClass::kFarShared, "a");
   rt::GlobalArray<double> b(runtime, kN, arch::MemClass::kFarShared, "b");
-  for (std::size_t i = 0; i < kN; ++i) a.raw(i) = (i % 17) * 0.25;
+  for (std::size_t i = 0; i < kN; ++i) a.raw(i) = static_cast<double>(i % 17) * 0.25;
 
   runtime.run([&] {
     rt::Barrier barrier(runtime, kThreads);

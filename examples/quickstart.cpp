@@ -47,7 +47,7 @@ int main() {
   rt::GlobalArray<double> a(runtime, n, arch::MemClass::kFarShared, "a");
   rt::GlobalArray<double> sums(runtime, 16, arch::MemClass::kNearShared,
                                "sums");
-  for (std::size_t i = 0; i < n; ++i) a.raw(i) = 1.0 / (1.0 + i);
+  for (std::size_t i = 0; i < n; ++i) a.raw(i) = 1.0 / (1.0 + static_cast<double>(i));
 
   runtime.run([&] {
     rt::Barrier barrier(runtime, 16);
@@ -81,7 +81,7 @@ int main() {
               static_cast<unsigned long long>(tot.loads),
               static_cast<unsigned long long>(tot.stores));
   std::printf("  cache hit rate   : %.1f %%\n",
-              100.0 * tot.l1_hits / (tot.accesses() ? tot.accesses() : 1));
+              100.0 * static_cast<double>(tot.l1_hits) / static_cast<double>(tot.accesses() ? tot.accesses() : 1));
   std::printf("  remote misses    : %llu\n",
               static_cast<unsigned long long>(tot.miss_remote));
   std::printf("  Mflop/s achieved : %.1f\n",

@@ -171,11 +171,11 @@ NbodyResult NbodyPvm::run() {
     }
   }
 
-  pvm::Pvm vm(rt_);
+  pvm::Pvm root(rt_);
   std::uint64_t interactions = 0;
   double fin_kin = 0, fin_px = 0, fin_py = 0, fin_pz = 0;
 
-  vm.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
+  root.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
     rt::Runtime& rt = vm.runtime();
     const auto [pb, pe] = split(n, ntasks, static_cast<unsigned>(me));
     const std::size_t mine = pe - pb;

@@ -48,12 +48,12 @@ PicResult PicPvm::run() {
   const std::size_t np = cfg_.particles();
   const std::size_t nx = cfg_.nx, ny = cfg_.ny, nz = cfg_.nz;
 
-  pvm::Pvm vm(rt_);
+  pvm::Pvm root(rt_);
   double final_kinetic = 0, final_momentum = 0, final_field = 0,
          final_charge = 0;
   std::vector<double> field_history;
 
-  vm.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
+  root.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
     rt::Runtime& rt = vm.runtime();
     const auto [pb, pe] = split(np, ntasks, static_cast<unsigned>(me));
     const std::size_t my_np = pe - pb;

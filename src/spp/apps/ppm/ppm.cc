@@ -128,7 +128,7 @@ void PpmTiled::init_sod_x() {
 
 void PpmTiled::init_blast(double p_peak, double radius) {
   init_uniform(1.0, 0.0, 0.0, 0.1);
-  const double cx = cfg_.nx / 2.0, cy = cfg_.ny / 2.0;
+  const double cx = static_cast<double>(cfg_.nx) / 2.0, cy = static_cast<double>(cfg_.ny) / 2.0;
   for (Tile& t : tiles_) {
     for (std::size_t j = kGhost; j < t.h + kGhost; ++j) {
       for (std::size_t i = kGhost; i < t.w + kGhost; ++i) {

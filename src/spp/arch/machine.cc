@@ -47,6 +47,20 @@ sim::Time Machine::access(unsigned cpu, VAddr va, bool write, sim::Time now) {
   (write ? c.stores : c.loads)++;
 
   const LineState st = l1_[cpu].state_of(line);
+
+  // Snapshot checker-visible pre-state before the protocol mutates anything
+  // (one branch when no observer is attached).
+  bool pre_gcache_hit = false;
+  if (observer_ != nullptr) {
+    const unsigned home_fu = home_fu_of(pa);
+    const unsigned my_node = topo_.node_of_cpu(cpu);
+    if (topo_.node_of_fu(home_fu) != my_node) {
+      pre_gcache_hit =
+          gcache_for(my_node, topo_.ring_of_fu(home_fu)).present(line);
+    }
+  }
+
+  sim::Time done;
   if (st == LineState::kModified || st == LineState::kExclusive ||
       (st == LineState::kShared && !write)) {
     if (write && st == LineState::kExclusive) {
@@ -54,20 +68,34 @@ sim::Time Machine::access(unsigned cpu, VAddr va, bool write, sim::Time now) {
       l1_[cpu].install(line, LineState::kModified);
     }
     ++c.l1_hits;
-    return now + sim::cycles(cm_.l1_hit);
+    done = now + sim::cycles(cm_.l1_hit);
+  } else {
+    if (st == LineState::kShared) {
+      // Write hit on a Shared line: ownership upgrade, no data transfer.
+      ++c.upgrades;
+      const unsigned home_node = topo_.node_of_fu(home_fu_of(pa));
+      done = home_node == topo_.node_of_cpu(cpu)
+                 ? local_upgrade(cpu, pa, now)
+                 : remote_upgrade(cpu, pa, now);
+    } else {
+      done = miss_fill(cpu, pa, write, now);
+    }
+    c.mem_stall += done - now;
   }
 
-  sim::Time done;
-  if (st == LineState::kShared) {
-    // Write hit on a Shared line: ownership upgrade, no data transfer.
-    ++c.upgrades;
-    const unsigned home_node = topo_.node_of_fu(home_fu_of(pa));
-    done = home_node == topo_.node_of_cpu(cpu) ? local_upgrade(cpu, pa, now)
-                                               : remote_upgrade(cpu, pa, now);
-  } else {
-    done = miss_fill(cpu, pa, write, now);
+  if (observer_ != nullptr) {
+    observer_->on_access(MemEvent{.cpu = cpu,
+                                  .va = va,
+                                  .pa = pa,
+                                  .line = line,
+                                  .write = write,
+                                  .uncached = false,
+                                  .atomic = false,
+                                  .pre_state = st,
+                                  .pre_gcache_hit = pre_gcache_hit,
+                                  .start = now,
+                                  .end = done});
   }
-  c.mem_stall += done - now;
   return done;
 }
 
@@ -203,7 +231,9 @@ sim::Time Machine::invalidate_local(LineAddr line, HomeEntry& e,
   for (unsigned k = 0; k < kCpusPerNode; ++k) {
     if (!(victims & bit(k))) continue;
     const unsigned victim_cpu = home_node * kCpusPerNode + k;
-    l1_[victim_cpu].invalidate(line);
+    // Test-only planted bug: the invalidation message is lost, leaving the
+    // victim's stale copy behind while the directory believes it is gone.
+    if (!mutation_.skip_local_invalidate) l1_[victim_cpu].invalidate(line);
     ++perf_.cpu[victim_cpu].invals_received;
     ++perf_.invals_sent;
     t += sim::cycles(cm_.inval_local);
@@ -438,7 +468,9 @@ sim::Time Machine::purge_remote(LineAddr line, HomeEntry& e,
     walk = rings_.transit(ring, home_node, node, walk);
     walk += sim::cycles(cm_.sci_purge_per_node);
     sci::GCache::Entry& ge = gcache_for(node, ring).slot(line);
-    if (ge.line == line) {
+    if (ge.line == line && !mutation_.drop_sci_back_pointer) {
+      // (Planted-bug mode skips this: the node leaves the sharing list but
+      // its gcache entry and backed L1 copies survive as orphans.)
       invalidate_gcache_backed_l1(node, ge);
       ge = sci::GCache::Entry{};
     }
@@ -606,6 +638,19 @@ sim::Time Machine::access_uncached(unsigned cpu, VAddr va, bool write,
   }
   t += sim::cycles(cm_.xbar_transit + cm_.uncached_extra);
   c.mem_stall += t - now;
+  if (observer_ != nullptr) {
+    observer_->on_access(MemEvent{.cpu = cpu,
+                                  .va = va,
+                                  .pa = pa,
+                                  .line = line_of(pa),
+                                  .write = write,
+                                  .uncached = true,
+                                  .atomic = false,
+                                  .pre_state = LineState::kInvalid,
+                                  .pre_gcache_hit = false,
+                                  .start = now,
+                                  .end = t});
+  }
   return t;
 }
 
@@ -642,6 +687,19 @@ sim::Time Machine::atomic_rmw(unsigned cpu, VAddr va, sim::Time now) {
   }
   t += sim::cycles(cm_.xbar_transit + cm_.uncached_extra);
   c.mem_stall += t - now;
+  if (observer_ != nullptr) {
+    observer_->on_access(MemEvent{.cpu = cpu,
+                                  .va = va,
+                                  .pa = pa,
+                                  .line = line_of(pa),
+                                  .write = true,
+                                  .uncached = true,
+                                  .atomic = true,
+                                  .pre_state = LineState::kInvalid,
+                                  .pre_gcache_hit = false,
+                                  .start = now,
+                                  .end = t});
+  }
   return t;
 }
 
@@ -673,6 +731,20 @@ unsigned Machine::sharer_count(VAddr va) const {
     if (gc.present(line)) ++count;
   }
   return count;
+}
+
+Machine::DirView Machine::dir_view(LineAddr line) const {
+  DirView v;
+  auto it = directory_.find(line);
+  if (it == directory_.end()) return v;
+  const HomeEntry& e = it->second;
+  v.present = true;
+  v.cpu_sharers = e.cpu_sharers;
+  v.owner_cpu = e.owner_cpu;
+  v.remote_dirty = e.remote_dirty;
+  v.owner_node = e.owner_node;
+  v.sci_list = e.sci_list;
+  return v;
 }
 
 bool Machine::check_line_invariants(VAddr va) const {

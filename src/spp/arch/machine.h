@@ -20,6 +20,7 @@
 #include "spp/arch/address.h"
 #include "spp/arch/cache.h"
 #include "spp/arch/cost_model.h"
+#include "spp/arch/observer.h"
 #include "spp/arch/perf.h"
 #include "spp/arch/topology.h"
 #include "spp/arch/vmem.h"
@@ -64,6 +65,27 @@ class Machine {
   /// Drops all counters; protocol state is retained.
   void reset_stats() { perf_.reset(); }
 
+  /// Attaches (or clears, with nullptr) a transaction observer.  One pointer
+  /// test per access when null; observers never alter timing or state.
+  void set_observer(MemObserver* observer) { observer_ = observer; }
+  MemObserver* observer() const { return observer_; }
+
+  // --- test-only protocol mutations (mutation harness; tests/test_check) ----
+  /// Deliberate protocol bugs, compiled in but dead until set.  Used to prove
+  /// the spp::check analyzers detect real coherence violations; never enable
+  /// outside tests.
+  struct TestMutation {
+    /// invalidate_local leaves victims' stale L1 copies in place (but still
+    /// clears the directory's sharer bits), as if an invalidation message
+    /// from the hypernode directory were lost.
+    bool skip_local_invalidate = false;
+    /// The SCI purge walk removes a node from the home sharing list without
+    /// clearing that node's gcache entry or backed L1 copies, as if a
+    /// back-pointer update in the distributed list were dropped.
+    bool drop_sci_back_pointer = false;
+  };
+  void set_test_mutation(const TestMutation& m) { mutation_ = m; }
+
   // --- introspection for tests ---------------------------------------------
   LineState l1_state(unsigned cpu, VAddr va) const;
   /// Number of distinct caches (L1 or gcache) holding the line of `va`,
@@ -73,6 +95,23 @@ class Machine {
   /// excludes all other copies, and every L1 copy of a remote line is backed
   /// by its node's gcache.
   bool check_line_invariants(VAddr va) const;
+
+  /// Read-only copy of the home directory entry for `line` (empty-state view
+  /// when the line has no entry).  For checkers and tests.
+  struct DirView {
+    bool present = false;
+    std::uint8_t cpu_sharers = 0;
+    int owner_cpu = -1;
+    bool remote_dirty = false;
+    std::uint8_t owner_node = 0;
+    std::vector<std::uint8_t> sci_list;
+  };
+  DirView dir_view(LineAddr line) const;
+
+  const L1Cache& l1(unsigned cpu) const { return l1_[cpu]; }
+  const sci::GCache& gcache(unsigned node, unsigned ring) const {
+    return gcaches_[node * kNumRings + ring];
+  }
 
  private:
   struct HomeEntry {
@@ -148,6 +187,8 @@ class Machine {
   std::vector<FuState> fus_;
   std::vector<sci::GCache> gcaches_;  ///< [node * 4 + ring]
   std::unordered_map<LineAddr, HomeEntry> directory_;
+  MemObserver* observer_ = nullptr;
+  TestMutation mutation_;
 };
 
 }  // namespace spp::arch

@@ -1,0 +1,46 @@
+// Memory-transaction observer hook.
+//
+// The Machine reports every completed transaction to an attached observer
+// (the spp::check coherence oracle in practice).  The hook is compiled in
+// always and costs exactly one pointer test per transaction when nothing is
+// attached; an observer never changes protocol state or simulated timing --
+// it sees each event after the machine has finished mutating state for it.
+#pragma once
+
+#include <cstdint>
+
+#include "spp/arch/address.h"
+#include "spp/arch/cache.h"
+#include "spp/sim/time.h"
+
+namespace spp::arch {
+
+/// One completed memory transaction, as seen by an observer.
+struct MemEvent {
+  unsigned cpu = 0;
+  VAddr va = 0;
+  PAddr pa = 0;
+  LineAddr line = 0;
+  bool write = false;
+  bool uncached = false;  ///< access_uncached or atomic_rmw (bypasses caches).
+  bool atomic = false;    ///< atomic_rmw.
+  /// Accessor's L1 state for the line BEFORE the transaction (always
+  /// kInvalid for uncached operations).
+  LineState pre_state = LineState::kInvalid;
+  /// True if the accessor's node's gcache held the line before a remote-home
+  /// cached access (the data source for a gcache-buffer hit).
+  bool pre_gcache_hit = false;
+  sim::Time start = 0;  ///< local time the access was issued.
+  sim::Time end = 0;    ///< completion time.
+};
+
+/// Interface for transaction-level checkers.  Observers must treat the
+/// machine as read-only: they may inspect caches and directory state but the
+/// simulation's behaviour must not depend on their presence.
+class MemObserver {
+ public:
+  virtual ~MemObserver() = default;
+  virtual void on_access(const MemEvent& ev) = 0;
+};
+
+}  // namespace spp::arch

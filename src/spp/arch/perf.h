@@ -59,6 +59,14 @@ struct PerfCounters {
   std::uint64_t cpu_recoveries = 0;    ///< thread migrations off failed CPUs.
   sim::Time recovery_ns = 0;           ///< simulated time spent recovering.
 
+  // --- simulation-time verification (spp::check) ----------------------------
+  // All zero unless a Checker is attached; see docs/CHECKER.md.
+  std::uint64_t check_events = 0;      ///< transactions the oracle examined.
+  std::uint64_t check_violations = 0;  ///< coherence invariant violations.
+  std::uint64_t races_detected = 0;    ///< happens-before race reports.
+  std::uint64_t deadlock_cycles = 0;   ///< wait-for cycles diagnosed.
+  std::uint64_t deadlock_reports = 0;  ///< blocked-state diagnoses produced.
+
   CpuCounters total() const {
     CpuCounters t;
     for (const auto& c : cpu) {

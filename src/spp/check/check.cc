@@ -1,0 +1,39 @@
+#include "spp/check/check.h"
+
+namespace spp::check {
+
+Checker::Checker(rt::Runtime& rt, Options opts)
+    : rt_(&rt),
+      oracle_(rt.machine(), opts.max_reports),
+      races_(rt.machine(), opts.max_reports) {
+  rt.machine().set_observer(&oracle_);
+  rt.set_sync_observer(&races_);
+}
+
+Checker::~Checker() {
+  // Detach only if still the installed hooks (a later checker wins).
+  if (rt_->machine().observer() == &oracle_) {
+    rt_->machine().set_observer(nullptr);
+  }
+  if (rt_->sync_observer() == &races_) {
+    rt_->set_sync_observer(nullptr);
+  }
+}
+
+void Checker::report(std::FILE* out) const {
+  const arch::PerfCounters& perf = rt_->machine().perf();
+  std::fprintf(out, "--- spp::check report ---\n");
+  std::fprintf(out, "  transactions examined : %llu\n",
+               static_cast<unsigned long long>(oracle_.events()));
+  std::fprintf(out, "  coherence violations  : %llu\n",
+               static_cast<unsigned long long>(oracle_.violations()));
+  std::fprintf(out, "  races detected        : %llu\n",
+               static_cast<unsigned long long>(races_.races()));
+  std::fprintf(out, "  deadlock reports      : %llu (%llu with a cycle)\n",
+               static_cast<unsigned long long>(perf.deadlock_reports),
+               static_cast<unsigned long long>(perf.deadlock_cycles));
+  for (const auto& r : oracle_.reports()) std::fprintf(out, "  %s\n", r.c_str());
+  for (const auto& r : races_.reports()) std::fprintf(out, "  %s\n", r.c_str());
+}
+
+}  // namespace spp::check

@@ -1,0 +1,72 @@
+// spp::check -- simulation-time verification layer (docs/CHECKER.md).
+//
+// A Checker bundles the three analyzers and wires them into a Runtime:
+//
+//   CoherenceOracle   arch::MemObserver on the Machine: shadow-memory and
+//                     shadow-directory invariants after every transaction.
+//   RaceDetector      rt::SyncObserver on the Runtime: vector-clock
+//                     happens-before race detection on application accesses.
+//   (deadlock)        lives inside the Conductor itself -- every block()
+//                     carries a wait-for edge and cycles throw DeadlockError
+//                     with a per-thread diagnosis; the Checker only surfaces
+//                     the counters.
+//
+// Everything is compiled in always; a detached checker costs one pointer
+// test per event and a checker never alters simulated timing, so checker-off
+// runs are bit-identical to the seed and checker-on runs report identical
+// simulated times (asserted by tests/test_check.cc).
+//
+//   rt::Runtime runtime({.nodes = 2});
+//   check::Checker checker(runtime);
+//   runtime.run([&] { ... });
+//   if (!checker.clean()) checker.report(stderr);
+#pragma once
+
+#include <cstdio>
+
+#include "spp/check/oracle.h"
+#include "spp/check/race.h"
+#include "spp/rt/runtime.h"
+
+namespace spp::check {
+
+class Checker {
+ public:
+  struct Options {
+    std::size_t max_reports = 32;  ///< retained report cap per analyzer.
+  };
+
+  /// Attaches to `rt`'s machine and runtime hooks.  The Runtime must outlive
+  /// the Checker; detaches automatically on destruction.
+  explicit Checker(rt::Runtime& rt) : Checker(rt, Options{}) {}
+  Checker(rt::Runtime& rt, Options opts);
+  ~Checker();
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  CoherenceOracle& oracle() { return oracle_; }
+  RaceDetector& races() { return races_; }
+
+  /// Re-arms the analyzers for a fresh run (clears shadow state and clocks;
+  /// machine perf counters are the Runtime's to reset).
+  void reset() {
+    oracle_.reset();
+    races_.reset();
+  }
+
+  /// No violations and no races recorded since the last reset.
+  bool clean() const {
+    return oracle_.violations() == 0 && races_.races() == 0;
+  }
+
+  /// Human-readable summary of everything the analyzers recorded.
+  void report(std::FILE* out = stdout) const;
+
+ private:
+  rt::Runtime* rt_;
+  CoherenceOracle oracle_;
+  RaceDetector races_;
+};
+
+}  // namespace spp::check

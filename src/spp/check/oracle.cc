@@ -1,0 +1,205 @@
+#include "spp/check/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "spp/arch/address.h"
+#include "spp/arch/cache.h"
+#include "spp/arch/topology.h"
+#include "spp/arch/vmem.h"
+
+namespace spp::check {
+
+namespace {
+std::uint8_t bit(unsigned cpu_in_node) {
+  return static_cast<std::uint8_t>(1u << cpu_in_node);
+}
+}  // namespace
+
+std::string CoherenceOracle::site_of(const arch::MemEvent& ev) const {
+  const arch::Region& r = m_->vm().region_of(ev.va);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s+0x%llx", r.label.c_str(),
+                static_cast<unsigned long long>(ev.va - r.base));
+  return buf;
+}
+
+void CoherenceOracle::flag(const arch::MemEvent& ev, const std::string& what) {
+  ++violations_;
+  ++m_->perf().check_violations;
+  if (reports_.size() >= max_reports_) return;
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "[oracle] line 0x%llx (%s) cpu%u %s: ",
+                static_cast<unsigned long long>(ev.line), site_of(ev).c_str(),
+                ev.cpu, ev.write ? "write" : "read");
+  reports_.push_back(head + what);
+}
+
+void CoherenceOracle::on_access(const arch::MemEvent& ev) {
+  ++events_;
+  ++m_->perf().check_events;
+  if (ev.uncached) return;  // bypasses the caches: nothing to shadow.
+  check_structure(ev);
+  check_value(ev);
+}
+
+void CoherenceOracle::check_structure(const arch::MemEvent& ev) {
+  const arch::Topology& topo = m_->topo();
+  const arch::LineAddr line = ev.line;
+  const unsigned home_fu = arch::home_fu_of(ev.pa);
+  const unsigned home_node = topo.node_of_fu(home_fu);
+  const unsigned ring = topo.ring_of_fu(home_fu);
+  const arch::Machine::DirView dir = m_->dir_view(line);
+
+  // Walk every L1 once, collecting the machine-wide copy census.
+  unsigned owning_l1 = 0;   // Modified or Exclusive copies.
+  unsigned shared_l1 = 0;
+  int owning_cpu = -1;
+  std::uint8_t home_l1_mask = 0;  // home-node CPUs actually holding the line.
+  for (unsigned cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+    const arch::LineState st = m_->l1(cpu).state_of(line);
+    if (st == arch::LineState::kInvalid) continue;
+    const unsigned node = topo.node_of_cpu(cpu);
+    if (st == arch::LineState::kModified || st == arch::LineState::kExclusive) {
+      ++owning_l1;
+      owning_cpu = static_cast<int>(cpu);
+    } else {
+      ++shared_l1;
+    }
+    if (node == home_node) {
+      home_l1_mask |= bit(cpu % arch::kCpusPerNode);
+    } else {
+      // Inclusion: remote-home copies must be backed by the node's gcache.
+      const sci::GCache::Entry& ge = m_->gcache(node, ring).slot(line);
+      if (ge.line != line) {
+        flag(ev, "L1 copy on node " + std::to_string(node) +
+                     " has no backing gcache entry (inclusion)");
+      } else if (!(ge.cpu_sharers & bit(cpu % arch::kCpusPerNode))) {
+        flag(ev, "gcache entry on node " + std::to_string(node) +
+                     " missing sharer bit for cpu" + std::to_string(cpu));
+      }
+      if ((st == arch::LineState::kModified ||
+           st == arch::LineState::kExclusive) &&
+          ge.line == line && !ge.dirty) {
+        flag(ev, "owning L1 copy on node " + std::to_string(node) +
+                     " backed by a clean gcache entry");
+      }
+    }
+  }
+
+  // Single-writer / multi-reader.
+  if (owning_l1 > 1) {
+    flag(ev, "multiple L1s hold the line Modified/Exclusive");
+  } else if (owning_l1 == 1 && shared_l1 > 0) {
+    flag(ev, "Modified/Exclusive copy in cpu" + std::to_string(owning_cpu) +
+                 " coexists with " + std::to_string(shared_l1) +
+                 " Shared L1 copies");
+  }
+
+  // Directory agreement: sharer bits exactly match home-node L1 contents.
+  if (dir.cpu_sharers != home_l1_mask) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "directory sharer mask 0x%02x != home-node L1 census 0x%02x",
+                  dir.cpu_sharers, home_l1_mask);
+    flag(ev, buf);
+  }
+  if (dir.owner_cpu >= 0) {
+    const arch::LineState st =
+        m_->l1(static_cast<unsigned>(dir.owner_cpu)).state_of(line);
+    if (st != arch::LineState::kModified && st != arch::LineState::kExclusive) {
+      flag(ev, "directory owner cpu" + std::to_string(dir.owner_cpu) +
+                   " does not hold the line Modified/Exclusive");
+    }
+    if (!dir.sci_list.empty() || dir.remote_dirty) {
+      flag(ev, "local owner coexists with remote copies on the SCI list");
+    }
+  }
+
+  // SCI sharing list well-formedness, both directions, plus dirty census.
+  unsigned dirty_gcaches = 0;
+  for (unsigned node = 0; node < topo.nodes; ++node) {
+    const bool listed = std::find(dir.sci_list.begin(), dir.sci_list.end(),
+                                  static_cast<std::uint8_t>(node)) !=
+                        dir.sci_list.end();
+    const sci::GCache::Entry& ge = m_->gcache(node, ring).slot(line);
+    const bool cached = ge.line == line;
+    if (listed && node == home_node) {
+      flag(ev, "home node appears on its own SCI sharing list");
+    }
+    if (listed && !cached) {
+      flag(ev, "node " + std::to_string(node) +
+                   " on the SCI sharing list has no gcache entry (dangling)");
+    }
+    if (!listed && cached && node != home_node) {
+      flag(ev, "gcache entry on node " + std::to_string(node) +
+                   " is not on the SCI sharing list (orphan)");
+    }
+    if (cached && ge.dirty) ++dirty_gcaches;
+  }
+  if (dirty_gcaches > 1) {
+    flag(ev, "multiple gcaches hold the line dirty");
+  }
+  if (dir.remote_dirty) {
+    if (dir.sci_list.size() != 1 || dir.sci_list[0] != dir.owner_node) {
+      flag(ev, "remote_dirty but the SCI list is not exactly the owner node");
+    }
+    if (dir.cpu_sharers != 0) {
+      flag(ev, "remote_dirty coexists with home-node L1 sharers");
+    }
+  }
+}
+
+void CoherenceOracle::check_value(const arch::MemEvent& ev) {
+  const arch::Topology& topo = m_->topo();
+  const unsigned node = topo.node_of_cpu(ev.cpu);
+  const unsigned home_node = topo.node_of_fu(arch::home_fu_of(ev.pa));
+  const bool remote_home = node != home_node;
+  Shadow& s = shadow_[ev.line];
+
+  if (ev.write) {
+    // Every coherent write defines a new version; the writer's copy (and,
+    // for a remote line, the node's gcache proxy) holds it.
+    ++s.version;
+    s.cpu_version[ev.cpu] = s.version;
+    if (remote_home) s.gcache_version[node] = s.version;
+    return;
+  }
+
+  if (ev.pre_state != arch::LineState::kInvalid) {
+    // Read hit: the copy must hold the line's current version.  A lost
+    // invalidation leaves an old version behind, and this is where the data
+    // staleness (not just the bookkeeping skew) becomes visible.
+    auto it = s.cpu_version.find(ev.cpu);
+    if (it == s.cpu_version.end()) {
+      s.cpu_version[ev.cpu] = s.version;  // copy predates the oracle.
+    } else if (it->second != s.version) {
+      flag(ev, "read hit returned version " + std::to_string(it->second) +
+                   " but the last coherent write was version " +
+                   std::to_string(s.version) + " (stale copy)");
+      it->second = s.version;  // report each stale copy once.
+    }
+    return;
+  }
+
+  // Read miss: the fill must source the current version.  If it was serviced
+  // by the node's gcache, that proxy copy must itself be current.
+  if (ev.pre_gcache_hit) {
+    auto it = s.gcache_version.find(node);
+    if (it == s.gcache_version.end()) {
+      s.gcache_version[node] = s.version;
+    } else if (it->second != s.version) {
+      flag(ev,
+           "fill serviced by a stale gcache copy (version " +
+               std::to_string(it->second) + " vs " + std::to_string(s.version) +
+               ")");
+      it->second = s.version;
+    }
+  } else if (remote_home) {
+    s.gcache_version[node] = s.version;  // fresh proxy installed by the fill.
+  }
+  s.cpu_version[ev.cpu] = s.version;
+}
+
+}  // namespace spp::check

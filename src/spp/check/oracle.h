@@ -1,0 +1,88 @@
+// Coherence-invariant oracle: a flat shadow model of the two-level protocol,
+// checked after every memory transaction (docs/CHECKER.md).
+//
+// The oracle attaches to arch::Machine as a MemObserver and, for each
+// completed transaction, re-derives what MUST be true of the accessed line
+// from first principles and compares against the machine's actual state:
+//
+//   Structural invariants (machine state is internally consistent):
+//     - single-writer / multi-reader: at most one L1 holds the line Modified
+//       or Exclusive, and an owning copy excludes every other copy;
+//     - directory agreement: the home directory's cpu_sharers bitmask is
+//       exactly the set of home-node L1s holding the line, and owner_cpu
+//       matches the (sole) local owning L1;
+//     - SCI list well-formedness: a node is on the home sharing list iff its
+//       gcache holds the line (no dangling list entries, no orphan gcache
+//       entries), remote_dirty implies the sharing list is exactly the owner
+//       node, and at most one gcache holds the line dirty;
+//     - gcache inclusion: every L1 copy of a remote-home line is backed by
+//       its node's gcache entry with that CPU's sharer bit set.
+//
+//   Value oracle (reads return the last coherent write):
+//     the simulator carries no data, so the oracle tracks a per-line version
+//     counter bumped on every coherent write and records which version each
+//     L1/gcache copy holds.  A read hit on a copy older than the line's
+//     current version, or a fill sourced from a stale gcache copy, is a
+//     stale-read violation -- exactly what a lost invalidation produces.
+//
+// The oracle treats the machine as read-only and never touches simulated
+// time; with no observer attached the machine pays one pointer test per
+// transaction (see arch/observer.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spp/arch/machine.h"
+#include "spp/arch/observer.h"
+
+namespace spp::check {
+
+class CoherenceOracle : public arch::MemObserver {
+ public:
+  /// `machine` must outlive the oracle; `max_reports` caps the retained
+  /// violation descriptions (the violation COUNTER keeps counting past it).
+  explicit CoherenceOracle(arch::Machine& machine,
+                           std::size_t max_reports = 32)
+      : m_(&machine), max_reports_(max_reports) {}
+
+  void on_access(const arch::MemEvent& ev) override;
+
+  std::uint64_t events() const { return events_; }
+  std::uint64_t violations() const { return violations_; }
+  const std::vector<std::string>& reports() const { return reports_; }
+
+  /// Drops all shadow state and recorded violations (between runs).
+  void reset() {
+    shadow_.clear();
+    reports_.clear();
+    events_ = 0;
+    violations_ = 0;
+  }
+
+ private:
+  /// Shadow value state for one line: the version of the last coherent write
+  /// plus the version each live copy was filled/written with.
+  struct Shadow {
+    std::uint64_t version = 0;
+    std::unordered_map<unsigned, std::uint64_t> cpu_version;
+    std::unordered_map<unsigned, std::uint64_t> gcache_version;
+  };
+
+  void check_structure(const arch::MemEvent& ev);
+  void check_value(const arch::MemEvent& ev);
+  void flag(const arch::MemEvent& ev, const std::string& what);
+  /// "label+0x<offset>" for the event's virtual address.
+  std::string site_of(const arch::MemEvent& ev) const;
+
+  arch::Machine* m_;
+  std::size_t max_reports_;
+  std::unordered_map<arch::LineAddr, Shadow> shadow_;
+  std::vector<std::string> reports_;
+  std::uint64_t events_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace spp::check

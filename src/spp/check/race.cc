@@ -1,0 +1,137 @@
+#include "spp/check/race.h"
+
+#include <cstdio>
+
+#include "spp/arch/vmem.h"
+
+namespace spp::check {
+
+namespace {
+/// Race-check granularity: one word, the natural unit of Runtime::read/write.
+constexpr std::uint64_t kGranuleBytes = 8;
+}  // namespace
+
+VectorClock& RaceDetector::clock_of(unsigned tid) {
+  VectorClock& vc = threads_[tid];
+  // A thread's own component starts at 1 so a live epoch never compares
+  // equal to the "no access yet" zero.
+  if (vc.of(tid) == 0) vc.set(tid, 1);
+  return vc;
+}
+
+bool RaceDetector::ordered_before(const Epoch& e, unsigned tid) {
+  if (e.clock == 0) return true;  // no prior access.
+  return clock_of(tid).of(e.tid) >= e.clock;
+}
+
+void RaceDetector::on_fork(unsigned parent_tid, unsigned child_tid) {
+  VectorClock& parent = clock_of(parent_tid);
+  VectorClock child;  // fresh clock: tids are reused across runs.
+  child.join(parent);
+  child.set(child_tid, threads_[child_tid].of(child_tid) + 1);
+  threads_[child_tid] = child;
+  parent.set(parent_tid, parent.of(parent_tid) + 1);
+}
+
+void RaceDetector::on_join(unsigned parent_tid, unsigned child_tid) {
+  VectorClock& parent = clock_of(parent_tid);
+  parent.join(clock_of(child_tid));
+  parent.set(parent_tid, parent.of(parent_tid) + 1);
+}
+
+void RaceDetector::on_acquire(const void* obj, unsigned tid) {
+  clock_of(tid).join(objects_[obj]);
+}
+
+void RaceDetector::on_release(const void* obj, unsigned tid) {
+  VectorClock& vc = clock_of(tid);
+  objects_[obj].join(vc);
+  vc.set(tid, vc.of(tid) + 1);
+}
+
+void RaceDetector::on_send(std::uint64_t seq, unsigned tid) {
+  VectorClock& vc = clock_of(tid);
+  messages_[seq].join(vc);
+  vc.set(tid, vc.of(tid) + 1);
+}
+
+void RaceDetector::on_recv(std::uint64_t seq, unsigned tid) {
+  auto it = messages_.find(seq);
+  if (it == messages_.end()) return;  // edge predates the detector.
+  clock_of(tid).join(it->second);
+  messages_.erase(it);
+}
+
+void RaceDetector::report_race(unsigned tid, arch::VAddr va, bool write,
+                               const Epoch& prev, bool prev_write,
+                               std::uint64_t key) {
+  ++races_;
+  ++m_->perf().races_detected;
+  if (!reported_.insert(key).second || reports_.size() >= max_reports_) return;
+  const arch::Region& r = m_->vm().region_of(va);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "[race] %s+0x%llx (va 0x%llx): t%u %s conflicts with t%u %s "
+                "without a happens-before edge",
+                r.label.c_str(),
+                static_cast<unsigned long long>(va - r.base),
+                static_cast<unsigned long long>(va), tid,
+                write ? "write" : "read", prev.tid,
+                prev_write ? "write" : "read");
+  reports_.push_back(buf);
+}
+
+void RaceDetector::on_data_access(unsigned tid, unsigned cpu, arch::VAddr va,
+                                  std::uint64_t bytes, bool write) {
+  if (bytes == 0) return;
+  const arch::Region& region = m_->vm().region_of(va);
+  if (region.mem_class == arch::MemClass::kThreadPrivate) {
+    return;  // same VA, physically distinct per CPU: cannot race.
+  }
+  // NodePrivate instances are distinct per hypernode: key the granule by the
+  // accessing node so cross-node aliases never conflict.
+  std::uint64_t node_key = 0;
+  if (region.mem_class == arch::MemClass::kNodePrivate) {
+    node_key = static_cast<std::uint64_t>(m_->topo().node_of_cpu(cpu) + 1)
+               << 56;
+  }
+
+  const std::uint64_t first = va / kGranuleBytes;
+  const std::uint64_t last = (va + bytes - 1) / kGranuleBytes;
+  for (std::uint64_t g = first; g <= last; ++g) {
+    const std::uint64_t key = g | node_key;
+    VarState& var = vars_[key];
+    const arch::VAddr gva = g * kGranuleBytes;
+
+    if (write) {
+      if (!ordered_before(var.write, tid)) {
+        report_race(tid, gva, true, var.write, /*prev_write=*/true, key);
+      }
+      for (const Epoch& rd : var.reads) {
+        if (rd.tid != tid && !ordered_before(rd, tid)) {
+          report_race(tid, gva, true, rd, /*prev_write=*/false, key);
+          break;  // one report per granule-write is plenty.
+        }
+      }
+      var.write = {tid, clock_of(tid).of(tid)};
+      var.reads.clear();
+    } else {
+      if (var.write.tid != tid && !ordered_before(var.write, tid)) {
+        report_race(tid, gva, false, var.write, /*prev_write=*/true, key);
+      }
+      // Record/refresh this thread's read epoch since the last write.
+      const std::uint64_t now = clock_of(tid).of(tid);
+      bool found = false;
+      for (Epoch& rd : var.reads) {
+        if (rd.tid == tid) {
+          rd.clock = now;
+          found = true;
+          break;
+        }
+      }
+      if (!found) var.reads.push_back({tid, now});
+    }
+  }
+}
+
+}  // namespace spp::check

@@ -1,0 +1,121 @@
+// Happens-before race detector for simulated threads (docs/CHECKER.md).
+//
+// The conductor runs exactly one simulated thread at a time, so application
+// code never races on HOST state -- but two simulated threads that touch the
+// same shared data without synchronization are still racing in SIMULATED
+// time, and on the real SPP-1000 that program would be broken.  This
+// detector finds those bugs the way TSan would on real hardware: vector
+// clocks per simulated thread, advanced along every synchronization edge the
+// runtime reports (rt/observer.h):
+//
+//   fork/join         parent <-> child program-order edges
+//   lock/unlock       release publishes into the lock, acquire absorbs
+//   barrier           every arrival releases, every departure acquires
+//                     (all-to-all: the conservative over-merge is exact for
+//                     barriers)
+//   PVM send/recv     the message edge, keyed by transport sequence number
+//
+// Data accesses (Runtime::read/write) are checked FastTrack-style at 8-byte
+// granularity: each granule keeps the last-write epoch and the set of read
+// epochs since; a conflicting access not ordered by the clocks is a race.
+// ThreadPrivate regions are skipped (same VA, distinct physical instances);
+// NodePrivate granules are keyed per accessing node.  Reports carry the
+// application-level site (region label + offset) so a flagged race names the
+// data structure, not just an address.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "spp/arch/machine.h"
+#include "spp/rt/observer.h"
+
+namespace spp::check {
+
+/// Grow-on-demand vector clock over simulated-thread ids.
+class VectorClock {
+ public:
+  std::uint64_t of(unsigned tid) const {
+    return tid < v_.size() ? v_[tid] : 0;
+  }
+  void set(unsigned tid, std::uint64_t c) {
+    grow(tid);
+    v_[tid] = c;
+  }
+  void join(const VectorClock& o) {
+    if (o.v_.size() > v_.size()) v_.resize(o.v_.size(), 0);
+    for (std::size_t i = 0; i < o.v_.size(); ++i) {
+      if (o.v_[i] > v_[i]) v_[i] = o.v_[i];
+    }
+  }
+
+ private:
+  void grow(unsigned tid) {
+    if (tid >= v_.size()) v_.resize(tid + 1, 0);
+  }
+  std::vector<std::uint64_t> v_;
+};
+
+class RaceDetector : public rt::SyncObserver {
+ public:
+  /// `machine` provides region lookup for reports and the perf counters;
+  /// `max_reports` caps retained descriptions, not the race counter.
+  explicit RaceDetector(arch::Machine& machine, std::size_t max_reports = 32)
+      : m_(&machine), max_reports_(max_reports) {}
+
+  void on_fork(unsigned parent_tid, unsigned child_tid) override;
+  void on_join(unsigned parent_tid, unsigned child_tid) override;
+  void on_acquire(const void* obj, unsigned tid) override;
+  void on_release(const void* obj, unsigned tid) override;
+  void on_send(std::uint64_t seq, unsigned tid) override;
+  void on_recv(std::uint64_t seq, unsigned tid) override;
+  void on_data_access(unsigned tid, unsigned cpu, arch::VAddr va,
+                      std::uint64_t bytes, bool write) override;
+
+  std::uint64_t races() const { return races_; }
+  const std::vector<std::string>& reports() const { return reports_; }
+
+  /// Drops all clocks and access history (between runs; simulated-thread ids
+  /// restart from 0 each Conductor::run).
+  void reset() {
+    threads_.clear();
+    objects_.clear();
+    messages_.clear();
+    vars_.clear();
+    reported_.clear();
+    reports_.clear();
+    races_ = 0;
+  }
+
+ private:
+  struct Epoch {
+    unsigned tid = 0;
+    std::uint64_t clock = 0;  ///< 0 = no such access yet.
+  };
+  /// Per-granule access history: FastTrack's last-write epoch plus the reads
+  /// since that write.
+  struct VarState {
+    Epoch write;
+    std::vector<Epoch> reads;
+  };
+
+  VectorClock& clock_of(unsigned tid);
+  bool ordered_before(const Epoch& e, unsigned tid);
+  void report_race(unsigned tid, arch::VAddr va, bool write, const Epoch& prev,
+                   bool prev_write, std::uint64_t key);
+
+  arch::Machine* m_;
+  std::size_t max_reports_;
+  std::unordered_map<unsigned, VectorClock> threads_;
+  std::unordered_map<const void*, VectorClock> objects_;
+  std::unordered_map<std::uint64_t, VectorClock> messages_;
+  std::unordered_map<std::uint64_t, VarState> vars_;
+  std::unordered_set<std::uint64_t> reported_;  ///< one report per granule.
+  std::vector<std::string> reports_;
+  std::uint64_t races_ = 0;
+};
+
+}  // namespace spp::check

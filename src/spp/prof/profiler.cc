@@ -107,4 +107,21 @@ void Profiler::fault_report(std::FILE* out) const {
                sim::to_seconds(p.recovery_ns) * 1e3);
 }
 
+void Profiler::check_report(std::FILE* out) const {
+  const arch::PerfCounters& p = rt_->machine().perf();
+  if (p.check_events == 0 && p.deadlock_reports == 0) {
+    std::fprintf(out, "check: no checker attached\n");
+    return;
+  }
+  auto row = [out](const char* name, unsigned long long v) {
+    std::fprintf(out, "%-24s %12llu\n", name, v);
+  };
+  std::fprintf(out, "%-24s %12s\n", "verification", "count");
+  row("check_events", p.check_events);
+  row("check_violations", p.check_violations);
+  row("races_detected", p.races_detected);
+  row("deadlock_cycles", p.deadlock_cycles);
+  row("deadlock_reports", p.deadlock_reports);
+}
+
 }  // namespace spp::prof

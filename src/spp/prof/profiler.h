@@ -78,6 +78,10 @@ class Profiler {
   /// Prints a single "no faults" line when the run was fault-free.
   void fault_report(std::FILE* out = stdout) const;
 
+  /// Prints the simulation-time verification counters (docs/CHECKER.md).
+  /// Prints a single "no checker" line when nothing was attached.
+  void check_report(std::FILE* out = stdout) const;
+
  private:
   struct OpenPhase {
     sim::Time t0 = 0;

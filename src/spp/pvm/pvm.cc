@@ -99,6 +99,12 @@ void Pvm::send(int dst, int tag, Message m) {
   msg->tag = tag;
   msg->sender = me;
   msg->seq_ = next_seq_++;
+  // Happens-before edge: the sender's history travels with the message
+  // (keyed by transport sequence number; retransmissions carry the same
+  // edge, so attempt 0 is the publication point).
+  if (rt::SyncObserver* obs = rt_->sync_observer()) {
+    obs->on_send(msg->seq_, th.tid());
+  }
 
   const arch::VAddr mailbox_line =
       mailbox_va_ + static_cast<arch::VAddr>(dst % 128) * arch::kLineBytes;
@@ -223,6 +229,10 @@ Message Pvm::deliver(Task& task, std::shared_ptr<Message> msg,
       rt_->machine().access(th.cpu(), mailbox_line, false, th.clock()));
   th.set_clock(transport_cost(msg->size_bytes(), tasks_[msg->sender]->cpu_,
                               task.cpu_, th.clock(), /*sender_side=*/false));
+  // The receiver absorbs the sender's history published at on_send.
+  if (rt::SyncObserver* obs = rt_->sync_observer()) {
+    obs->on_recv(msg->seq_, th.tid());
+  }
   return std::move(*msg);
 }
 
@@ -240,7 +250,12 @@ Message Pvm::recv(int src, int tag) {
     task.waiting_ = &th;
     task.waiting_src_ = src;
     task.waiting_tag_ = tag;
-    rt_->conductor().block();
+    rt::BlockReason reason;
+    reason.kind = rt::BlockReason::Kind::kMessage;
+    reason.obj = this;
+    reason.what = "pvm recv(src=" + std::to_string(src) +
+                  ", tag=" + std::to_string(tag) + ")";
+    rt_->conductor().block(std::move(reason));
   }
 }
 

@@ -1,7 +1,12 @@
 #include "spp/rt/conductor.h"
 
 #include <cassert>
+#include <cstdio>
+#include <functional>
+#include <set>
 #include <stdexcept>
+
+#include "spp/sim/log.h"
 
 namespace spp::rt {
 
@@ -11,6 +16,18 @@ thread_local SThread* g_current = nullptr;
 /// Thrown inside a simulated thread when the conductor tears the simulation
 /// down (deadlock, destruction); unwinds the thread's stack cleanly.
 struct ShutdownSignal {};
+}
+
+const char* to_string(BlockReason::Kind kind) {
+  switch (kind) {
+    case BlockReason::Kind::kLock: return "lock";
+    case BlockReason::Kind::kBarrier: return "barrier";
+    case BlockReason::Kind::kSemaphore: return "semaphore";
+    case BlockReason::Kind::kJoin: return "join";
+    case BlockReason::Kind::kMessage: return "message";
+    case BlockReason::Kind::kUnknown: break;
+  }
+  return "unknown";
 }
 
 // ---------------------------------------------------------------------------
@@ -82,6 +99,15 @@ void SThread::run_once() {
 Conductor::~Conductor() { shutdown_all(); }
 
 void Conductor::shutdown_all() {
+  if (blocked_ > 0 && !diagnosed_) {
+    // Tear-down with threads still blocked and nobody has explained why yet
+    // (e.g. an exception unwound past the scheduling loop): emit the same
+    // wait-for report the deadlock path throws, then shut down.
+    diagnosed_ = true;
+    ++machine_.perf().deadlock_reports;
+    sim::logf(sim::LogLevel::kWarn, "conductor shutdown with blocked threads\n%s",
+              blocked_report().c_str());
+  }
   for (auto& t : threads_) {
     {
       std::lock_guard lk(t->mu_);
@@ -107,6 +133,7 @@ void Conductor::run(std::function<void()> main_fn, unsigned cpu,
                     sim::Time start) {
   if (running_) throw std::logic_error("Conductor::run is not reentrant");
   running_ = true;
+  diagnosed_ = false;
   spawn(std::move(main_fn), cpu, start);
   try {
     loop();
@@ -166,8 +193,21 @@ void Conductor::loop() {
     }
   }
   if (blocked_ != 0) {
-    throw std::runtime_error(
-        "simulated deadlock: all live threads are blocked");
+    // Every live thread is blocked: diagnose instead of wedging.  A wait-for
+    // cycle is a true deadlock; its absence means someone forgot to deliver
+    // a wakeup (the classic lost-wakeup bug).
+    diagnosed_ = true;
+    arch::PerfCounters& perf = machine_.perf();
+    ++perf.deadlock_reports;
+    for (const auto& t : threads_) {
+      if (t->state() == SThread::State::kBlocked &&
+          !find_cycle(*t).empty()) {
+        ++perf.deadlock_cycles;
+        break;
+      }
+    }
+    throw DeadlockError("simulated deadlock: all live threads are blocked\n" +
+                        blocked_report());
   }
 }
 
@@ -184,9 +224,28 @@ void Conductor::yield(sim::Time slack) {
   me.hand_back(SThread::State::kReady);
 }
 
-void Conductor::block() {
+void Conductor::block(BlockReason reason) {
   SThread& me = self();
+  me.reason_ = std::move(reason);
+  if (!me.reason_.waits_for.empty()) {
+    // The caller names who must unblock it: check for a wait-for cycle NOW,
+    // while the rest of the machine may still be runnable, and surface the
+    // deadlock in the offending thread instead of letting it wedge.
+    const std::vector<unsigned> cycle = find_cycle(me);
+    if (!cycle.empty()) {
+      diagnosed_ = true;
+      arch::PerfCounters& perf = machine_.perf();
+      ++perf.deadlock_reports;
+      ++perf.deadlock_cycles;
+      std::string msg = "simulated deadlock: wait-for cycle";
+      for (const unsigned tid : cycle) msg += " t" + std::to_string(tid) + " ->";
+      msg += " t" + std::to_string(me.tid()) + "\n" + blocked_report();
+      me.reason_ = BlockReason{};
+      throw DeadlockError(msg);
+    }
+  }
   me.hand_back(SThread::State::kBlocked);
+  me.reason_ = BlockReason{};
 }
 
 void Conductor::unblock(SThread* t, sim::Time at) {
@@ -200,6 +259,67 @@ void Conductor::unblock(SThread* t, sim::Time at) {
 sim::Time Conductor::min_other_ready_clock() const {
   if (ready_.empty()) return ~sim::Time{0};
   return (*ready_.begin())->clock();
+}
+
+std::vector<unsigned> Conductor::find_cycle(const SThread& start) const {
+  // DFS over waits-for edges.  Only Blocked threads (and `start`, which may
+  // be about to block) contribute edges; a Ready/Running target can still
+  // make progress, so the path through it is not a deadlock.
+  std::vector<unsigned> path{start.tid()};
+  std::set<unsigned> on_path{start.tid()};
+  std::function<bool(const SThread&)> dfs = [&](const SThread& t) -> bool {
+    for (const unsigned next : t.block_reason().waits_for) {
+      if (next >= threads_.size()) continue;
+      if (next == start.tid()) return true;  // cycle closes.
+      const SThread& nt = *threads_[next];
+      if (nt.state() != SThread::State::kBlocked) continue;
+      if (!on_path.insert(next).second) continue;  // already on this path.
+      path.push_back(next);
+      if (dfs(nt)) return true;
+      path.pop_back();
+      on_path.erase(next);
+    }
+    return false;
+  };
+  if (dfs(start)) return path;
+  return {};
+}
+
+std::string Conductor::blocked_report() const {
+  std::string out;
+  std::vector<unsigned> cycle;
+  for (const auto& t : threads_) {
+    if (t->state() == SThread::State::kDone) continue;
+    const BlockReason& r = t->reason_;
+    char line[160];
+    std::snprintf(line, sizeof(line), "  t%-3u cpu%-3u %-8s", t->tid(),
+                  t->cpu(),
+                  t->state() == SThread::State::kBlocked ? "blocked"
+                  : t->state() == SThread::State::kReady ? "ready"
+                                                         : "running");
+    out += line;
+    if (t->state() == SThread::State::kBlocked) {
+      std::snprintf(line, sizeof(line), " on %s %p", to_string(r.kind), r.obj);
+      out += line;
+      if (!r.what.empty()) out += " (" + r.what + ")";
+      if (!r.waits_for.empty()) {
+        out += " waits-for";
+        for (const unsigned w : r.waits_for) out += " t" + std::to_string(w);
+      }
+      if (cycle.empty()) cycle = find_cycle(*t);
+    }
+    out += "\n";
+  }
+  if (!cycle.empty()) {
+    out += "  wait-for cycle:";
+    for (const unsigned tid : cycle) out += " t" + std::to_string(tid) + " ->";
+    out += " t" + std::to_string(cycle.front()) + " (deadlock)\n";
+  } else {
+    out +=
+        "  no wait-for cycle: a wakeup was lost (blocked thread whose "
+        "unblocker already moved on)\n";
+  }
+  return out;
 }
 
 }  // namespace spp::rt

@@ -20,6 +20,8 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,6 +31,30 @@
 namespace spp::rt {
 
 class Conductor;
+
+/// Simulated deadlock, diagnosed by the conductor's wait-for graph.  The
+/// message is the full per-thread blocked-on report (docs/CHECKER.md), so
+/// callers see *why* the machine wedged, not just that it did.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Why a thread is blocked: the edge it contributes to the wait-for graph.
+/// Sync primitives fill this in when they block; an empty reason (direct
+/// Conductor::block() calls) degrades to an "unknown" node in the report.
+struct BlockReason {
+  enum class Kind { kUnknown, kLock, kBarrier, kSemaphore, kJoin, kMessage };
+
+  Kind kind = Kind::kUnknown;
+  const void* obj = nullptr;        ///< the sync object, for the report.
+  std::string what;                 ///< human description of the wait.
+  std::vector<unsigned> waits_for;  ///< tids that must act to unblock us
+                                    ///< (empty = any thread might).
+};
+
+const char* to_string(BlockReason::Kind kind);
 
 /// One simulated thread of execution, bound to a simulated CPU.
 class SThread {
@@ -52,6 +78,9 @@ class SThread {
   /// Simulated time of the last scheduling point (quantum bookkeeping).
   sim::Time last_yield() const { return last_yield_; }
 
+  /// Why the thread is blocked (meaningful only while Blocked).
+  const BlockReason& block_reason() const { return reason_; }
+
   Conductor& conductor() { return *conductor_; }
 
  private:
@@ -72,6 +101,7 @@ class SThread {
   sim::Time clock_ = 0;
   sim::Time last_yield_ = 0;
   State state_ = State::kReady;
+  BlockReason reason_;  ///< wait-for edge while Blocked.
   std::function<void()> fn_;
 
   std::mutex mu_;
@@ -127,13 +157,32 @@ class Conductor {
     }
   }
   /// Blocks the calling thread until some other thread unblock()s it.
-  void block();
+  /// `reason` becomes the thread's edge in the wait-for graph; when it names
+  /// the threads it waits for, a wait-for cycle is detected HERE, before the
+  /// machine wedges, and reported by throwing DeadlockError in the caller.
+  void block(BlockReason reason = {});
   /// Makes `t` ready again with clock at least `at`.
   void unblock(SThread* t, sim::Time at);
+  /// Rewrites the waits-for edge of a still-Blocked thread.  Lock handoff
+  /// uses this: when a lock passes to a queued waiter, the remaining queued
+  /// threads now wait for the new holder, and a stale edge to the old holder
+  /// would fabricate wait-for cycles that do not exist.
+  void retarget_block(SThread* t, std::vector<unsigned> waits_for,
+                      std::string what) {
+    t->reason_.waits_for = std::move(waits_for);
+    t->reason_.what = std::move(what);
+  }
   /// Earliest clock among other ready threads (max value if none).
   sim::Time min_other_ready_clock() const;
 
   std::size_t live_threads() const { return live_; }
+
+  /// Per-thread blocked-on diagnosis of the current wait-for graph: one line
+  /// per non-Done thread plus the cycle (deadlock) or its absence (lost
+  /// wakeup).  Used verbatim by the all-blocked deadlock throw, the
+  /// block-time cycle throw, and the destruction path, so every way a
+  /// deadlock surfaces prints the same actionable report.
+  std::string blocked_report() const;
 
  private:
   friend class SThread;
@@ -147,8 +196,14 @@ class Conductor {
 
   void loop();
   /// Wakes every non-finished thread with the shutdown flag and joins it
-  /// (used on simulated deadlock and at destruction).
+  /// (used on simulated deadlock and at destruction).  If threads are still
+  /// blocked and no deadlock diagnosis has been emitted yet, logs the same
+  /// wait-for report the deadlock throw would have carried.
   void shutdown_all();
+
+  /// Follows waits-for edges from `start` through blocked threads; returns
+  /// the tid cycle (start first) or empty when none is reachable.
+  std::vector<unsigned> find_cycle(const SThread& start) const;
 
   arch::Machine& machine_;
   std::vector<std::unique_ptr<SThread>> threads_;
@@ -157,6 +212,7 @@ class Conductor {
   std::size_t blocked_ = 0;  ///< threads currently Blocked.
   unsigned next_tid_ = 0;
   bool running_ = false;
+  bool diagnosed_ = false;   ///< a wait-for report has been emitted.
 };
 
 }  // namespace spp::rt

@@ -1,0 +1,42 @@
+// Synchronization/observation hook for the CPSlib-level runtime.
+//
+// The runtime, the sync primitives, and the PVM transport report
+// happens-before edges and application-level data accesses to an attached
+// observer (the spp::check race detector in practice).  Like the fault hook,
+// a null observer costs one pointer test per event and nothing else; an
+// observer never blocks, never touches simulated clocks, and never alters
+// scheduling.
+//
+// Edge semantics (vector-clock reading):
+//   on_fork(p, c)       p's history happens-before everything c does.
+//   on_join(p, c)       everything c did happens-before p's continuation.
+//   on_release(o, t)    t publishes its history into object o.
+//   on_acquire(o, t)    t absorbs the history published into o.
+//   on_send/on_recv     the message edge of PVM transfers, keyed by the
+//                       transport sequence number.
+//   on_data_access      one charged application access (Runtime::read/write),
+//                       the events the race detector checks.
+#pragma once
+
+#include <cstdint>
+
+#include "spp/arch/vmem.h"
+
+namespace spp::rt {
+
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+
+  virtual void on_fork(unsigned parent_tid, unsigned child_tid) = 0;
+  virtual void on_join(unsigned parent_tid, unsigned child_tid) = 0;
+  /// `obj` identifies the sync object (lock, barrier, semaphore) by address.
+  virtual void on_acquire(const void* obj, unsigned tid) = 0;
+  virtual void on_release(const void* obj, unsigned tid) = 0;
+  virtual void on_send(std::uint64_t seq, unsigned tid) = 0;
+  virtual void on_recv(std::uint64_t seq, unsigned tid) = 0;
+  virtual void on_data_access(unsigned tid, unsigned cpu, arch::VAddr va,
+                              std::uint64_t bytes, bool write) = 0;
+};
+
+}  // namespace spp::rt

@@ -13,6 +13,8 @@ struct AsyncGroup::State {
   SThread* joiner = nullptr;  ///< parent blocked in join(), if any.
   std::vector<sim::Time> finish;
   std::vector<bool> remote;
+  std::vector<unsigned> tids;  ///< child tids, for join edges + wait-for graph.
+  std::vector<bool> done;      ///< per-child completion, for the wait-for graph.
   sim::Time last_finish = 0;
   bool joined = false;
 };
@@ -90,6 +92,9 @@ void Runtime::read(arch::VAddr va, std::uint64_t bytes) {
   conductor_.quantum_yield();
   poll_faults(me);
   me.set_clock(machine_.access_block(me.cpu(), va, bytes, false, me.clock()));
+  if (sync_observer_ != nullptr) {
+    sync_observer_->on_data_access(me.tid(), me.cpu(), va, bytes, false);
+  }
 }
 
 void Runtime::write(arch::VAddr va, std::uint64_t bytes) {
@@ -97,6 +102,9 @@ void Runtime::write(arch::VAddr va, std::uint64_t bytes) {
   conductor_.quantum_yield();
   poll_faults(me);
   me.set_clock(machine_.access_block(me.cpu(), va, bytes, true, me.clock()));
+  if (sync_observer_ != nullptr) {
+    sync_observer_->on_data_access(me.tid(), me.cpu(), va, bytes, true);
+  }
 }
 
 unsigned Runtime::place_cpu(unsigned i, unsigned n, Placement placement) const {
@@ -139,6 +147,8 @@ std::vector<SThread*> Runtime::spawn_group(
   st->remaining = n;
   st->finish.resize(n, 0);
   st->remote.resize(n, false);
+  st->tids.resize(n, 0);
+  st->done.resize(n, false);
   out.state_ = st;
 
   parent.advance(cm.fork_fixed);
@@ -164,12 +174,17 @@ std::vector<SThread*> Runtime::spawn_group(
           body(i, n);
           SThread& me = Conductor::self();
           st->finish[i] = me.clock();
+          st->done[i] = true;
           st->last_finish = std::max(st->last_finish, me.clock());
           if (--st->remaining == 0 && st->joiner != nullptr) {
             cond->unblock(st->joiner, st->last_finish);
           }
         },
         cpu, parent.clock()));
+    st->tids[i] = kids.back()->tid();
+    if (sync_observer_ != nullptr) {
+      sync_observer_->on_fork(parent.tid(), kids.back()->tid());
+    }
   }
   return kids;
 }
@@ -198,7 +213,14 @@ void Runtime::join(AsyncGroup& group) {
   SThread& parent = Conductor::self();
   if (st->remaining > 0) {
     st->joiner = &parent;
-    conductor_.block();
+    BlockReason reason;
+    reason.kind = BlockReason::Kind::kJoin;
+    reason.obj = st.get();
+    reason.what = "join of " + std::to_string(st->tids.size()) + " children";
+    for (std::size_t i = 0; i < st->tids.size(); ++i) {
+      if (!st->done[i]) reason.waits_for.push_back(st->tids[i]);
+    }
+    conductor_.block(std::move(reason));
   } else {
     parent.set_clock(std::max(parent.clock(), st->last_finish));
   }
@@ -207,6 +229,11 @@ void Runtime::join(AsyncGroup& group) {
   for (std::size_t i = 0; i < st->finish.size(); ++i) {
     parent.advance(st->remote[i] ? cm.thread_reap_remote
                                  : cm.thread_reap_local);
+  }
+  if (sync_observer_ != nullptr) {
+    for (const unsigned child : st->tids) {
+      sync_observer_->on_join(parent.tid(), child);
+    }
   }
 }
 

@@ -26,6 +26,7 @@
 #include "spp/arch/topology.h"
 #include "spp/arch/vmem.h"
 #include "spp/rt/conductor.h"
+#include "spp/rt/observer.h"
 #include "spp/sim/time.h"
 
 namespace spp::rt {
@@ -133,6 +134,13 @@ class Runtime {
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
   FaultHook* fault_hook() const { return fault_hook_; }
 
+  /// Installs (or clears, with nullptr) the synchronization observer (the
+  /// spp::check race detector).  Same contract as the fault hook: must
+  /// outlive every run(), costs one pointer test when absent, and never
+  /// alters simulated timing or scheduling.
+  void set_sync_observer(SyncObserver* obs) { sync_observer_ = obs; }
+  SyncObserver* sync_observer() const { return sync_observer_; }
+
  private:
   /// Applies pending faults and migrates the thread off a failed CPU.
   void poll_faults(SThread& me);
@@ -144,6 +152,7 @@ class Runtime {
   sim::Time end_time_ = 0;
   Runtime* prev_active_ = nullptr;
   FaultHook* fault_hook_ = nullptr;
+  SyncObserver* sync_observer_ = nullptr;
 
   static Runtime* active_;
 

@@ -1,6 +1,7 @@
 #include "spp/rt/sync.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace spp::rt {
 
@@ -40,17 +41,28 @@ void Barrier::wait() {
   me.advance(cm.barrier_arrive_sw);
   me.set_clock(m.atomic_rmw(me.cpu(), sem_va_, me.clock()));
 
+  // Vector-clock edge: every arrival publishes its history into the barrier.
+  SyncObserver* obs = rt.sync_observer();
+  if (obs != nullptr) obs->on_release(this, me.tid());
+
   if (++count_ < parties_) {
     // Cache the release flag's line, then spin (modeled as a block; the
     // refetch after invalidation is charged on wakeup below).
     me.set_clock(m.access(me.cpu(), flag_va_, false, me.clock()));
     waiters_.push_back(&me);
-    cond.block();
+    BlockReason reason;
+    reason.kind = BlockReason::Kind::kBarrier;
+    reason.obj = this;
+    reason.what = std::to_string(count_) + "/" + std::to_string(parties_) +
+                  " arrived";
+    cond.block(std::move(reason));
     // Woken by the releaser at the release point: the spin loop notices the
     // invalidation on its next poll and refetches the flag line, missing and
     // serializing at the flag's home (this is the LILO slope of Figure 3).
     me.advance(cm.spin_poll_interval);
     me.set_clock(m.access(me.cpu(), flag_va_, false, me.clock()));
+    // Departure absorbs every arrival's published history.
+    if (obs != nullptr) obs->on_acquire(this, me.tid());
     return;
   }
 
@@ -60,6 +72,7 @@ void Barrier::wait() {
   count_ = 0;
   me.set_clock(m.access(me.cpu(), flag_va_, true, me.clock()));
   last_release_ = me.clock();
+  if (obs != nullptr) obs->on_acquire(this, me.tid());
 
   // Wake the waiters; the first continues almost immediately, each further
   // one costs a slice of runtime wakeup software (Figure 3's LILO slope).
@@ -86,24 +99,35 @@ void Lock::acquire() {
   Runtime& rt = *rt_;
   Conductor& cond = rt.conductor();
   SThread& me = Conductor::self();
+  SyncObserver* obs = rt.sync_observer();
 
   cond.yield();
   me.set_clock(rt.machine().atomic_rmw(me.cpu(), va_, me.clock()));
   if (!held_) {
     held_ = true;
+    holder_ = me.tid();
+    if (obs != nullptr) obs->on_acquire(this, me.tid());
     return;
   }
   queue_.push_back(&me);
-  cond.block();
+  BlockReason reason;
+  reason.kind = BlockReason::Kind::kLock;
+  reason.obj = this;
+  reason.what = "held by t" + std::to_string(holder_);
+  reason.waits_for.push_back(holder_);
+  cond.block(std::move(reason));
   // Handoff: the releaser set our clock past its release; re-acquire the
   // lock word (another uncached rmw round trip).
   me.set_clock(rt.machine().atomic_rmw(me.cpu(), va_, me.clock()));
+  if (obs != nullptr) obs->on_acquire(this, me.tid());
 }
 
 void Lock::release() {
   Runtime& rt = *rt_;
   SThread& me = Conductor::self();
   if (!held_) throw std::logic_error("release of unheld lock");
+  SyncObserver* obs = rt.sync_observer();
+  if (obs != nullptr) obs->on_release(this, me.tid());
 
   me.set_clock(rt.machine().access_uncached(me.cpu(), va_, true, me.clock()));
   if (queue_.empty()) {
@@ -112,7 +136,13 @@ void Lock::release() {
   }
   SThread* next = queue_.front();
   queue_.pop_front();
+  holder_ = next->tid();
   rt.conductor().unblock(next, me.clock());
+  // The remaining queued waiters now wait for the new holder.
+  for (SThread* w : queue_) {
+    rt.conductor().retarget_block(w, {holder_},
+                                  "held by t" + std::to_string(holder_));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -128,19 +158,28 @@ Semaphore::Semaphore(Runtime& rt, unsigned initial, unsigned home_node)
 void Semaphore::p() {
   Runtime& rt = *rt_;
   SThread& me = Conductor::self();
+  SyncObserver* obs = rt.sync_observer();
   rt.conductor().yield();
   me.set_clock(rt.machine().atomic_rmw(me.cpu(), va_, me.clock()));
   if (value_ > 0) {
     --value_;
+    if (obs != nullptr) obs->on_acquire(this, me.tid());
     return;
   }
   queue_.push_back(&me);
-  rt.conductor().block();
+  BlockReason reason;
+  reason.kind = BlockReason::Kind::kSemaphore;
+  reason.obj = this;
+  reason.what = "p() with value 0";
+  rt.conductor().block(std::move(reason));
+  if (obs != nullptr) obs->on_acquire(this, me.tid());
 }
 
 void Semaphore::v() {
   Runtime& rt = *rt_;
   SThread& me = Conductor::self();
+  SyncObserver* obs = rt.sync_observer();
+  if (obs != nullptr) obs->on_release(this, me.tid());
   me.set_clock(rt.machine().atomic_rmw(me.cpu(), va_, me.clock()));
   if (!queue_.empty()) {
     SThread* next = queue_.front();

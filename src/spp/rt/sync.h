@@ -69,6 +69,7 @@ class Lock {
   Runtime* rt_;
   arch::VAddr va_;
   bool held_ = false;
+  unsigned holder_ = 0;  ///< tid of the holder while held_ (wait-for edge).
   std::deque<SThread*> queue_;
 };
 

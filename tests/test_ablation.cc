@@ -104,8 +104,8 @@ TEST(Ablation, PvmPageCostOnlyAffectsBigMessages) {
     rt::Runtime runtime(Topology{.nodes = 1}, cm);
     sim::Time out = 0;
     runtime.run([&] {
-      pvm::Pvm vm(runtime);
-      vm.spawn(2, rt::Placement::kHighLocality,
+      pvm::Pvm root(runtime);
+      root.spawn(2, rt::Placement::kHighLocality,
                [&](pvm::Pvm& vm, int me, int) {
                  std::vector<double> buf(bytes / 8, 1.0);
                  if (me == 0) {
@@ -137,8 +137,8 @@ TEST(Ablation, UnpackChargesRemoteLineReads) {
   rt::Runtime runtime(Topology{.nodes = 2});
   sim::Time recv_only = 0, unpack_extra = 0;
   runtime.run([&] {
-    pvm::Pvm vm(runtime);
-    vm.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+    pvm::Pvm root(runtime);
+    root.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
       constexpr std::size_t kDoubles = 4096;  // 32 KB payload
       if (me == 0) {
         std::vector<double> buf(kDoubles, 1.5);

@@ -207,8 +207,8 @@ PingPongStats ping_pong(const FaultPlan& plan, unsigned rounds,
   if (attach_injector) inj.attach(runtime);
   PingPongStats out;
   runtime.run([&] {
-    pvm::Pvm vm(runtime);
-    vm.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+    pvm::Pvm root(runtime);
+    root.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
       std::vector<double> buf(8);
       for (unsigned r = 0; r < rounds; ++r) {
         if (me == 0) {
@@ -308,8 +308,8 @@ TEST(FaultPvm, RecvTimeoutThrowsWhenNothingArrives) {
   bool threw = false;
   sim::Time waited = 0;
   runtime.run([&] {
-    pvm::Pvm vm(runtime);
-    vm.spawn(2, rt::Placement::kHighLocality,
+    pvm::Pvm root(runtime);
+    root.spawn(2, rt::Placement::kHighLocality,
              [&](pvm::Pvm& vm, int me, int) {
                if (me != 0) return;  // task 1 never sends.
                const sim::Time t0 = runtime.now();
@@ -329,8 +329,8 @@ TEST(FaultPvm, RecvTimeoutDeliversWhenMessageArrivesInTime) {
   rt::Runtime runtime(Topology{.nodes = 1});
   double got = 0;
   runtime.run([&] {
-    pvm::Pvm vm(runtime);
-    vm.spawn(2, rt::Placement::kHighLocality,
+    pvm::Pvm root(runtime);
+    root.spawn(2, rt::Placement::kHighLocality,
              [&](pvm::Pvm& vm, int me, int) {
                if (me == 0) {
                  pvm::Message m = vm.recv_timeout(1, 7, sim::kSecond);
@@ -359,8 +359,8 @@ TEST(FaultPvm, UncaughtTimeoutPropagatesOutOfRun) {
   inj.attach(runtime);
   EXPECT_THROW(
       runtime.run([&] {
-        pvm::Pvm vm(runtime);
-        vm.spawn(2, rt::Placement::kHighLocality,
+        pvm::Pvm root(runtime);
+        root.spawn(2, rt::Placement::kHighLocality,
                  [](pvm::Pvm& vm, int me, int) {
                    if (me == 0) {
                      pvm::Message m;

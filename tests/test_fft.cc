@@ -130,7 +130,7 @@ TEST(Fft3D, SolvesPoissonForPlaneWave) {
   for (std::size_t z = 0; z < n; ++z)
     for (std::size_t y = 0; y < n; ++y)
       for (std::size_t x = 0; x < n; ++x)
-        rho[(z * n + y) * n + x] = Complex(std::cos(kx * x), 0.0);
+        rho[(z * n + y) * n + x] = Complex(std::cos(kx * static_cast<double>(x)), 0.0);
   transform_3d(rho.data(), n, n, n, -1);
   // Energy should be in (kx=3) and (kx=n-3) modes only.
   double total = 0, captured = 0;

@@ -163,7 +163,7 @@ TEST(PicConfig_, FlopAccounting) {
   PicConfig cfg = tiny();
   EXPECT_GT(flops_per_step(cfg), 0.0);
   // Dominated by particle work: at least 100 flops per particle.
-  EXPECT_GT(flops_per_step(cfg), 100.0 * cfg.particles());
+  EXPECT_GT(flops_per_step(cfg), 100.0 * static_cast<double>(cfg.particles()));
 }
 
 }  // namespace

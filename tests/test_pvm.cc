@@ -47,8 +47,8 @@ TEST(PvmMessage, ZeroLengthPayloadDelivers) {
   bool got = false;
   std::size_t got_bytes = 99;
   rt.run([&] {
-    Pvm vm(rt);
-    vm.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
+    Pvm root(rt);
+    root.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
       if (me == 0) {
         vm.send(1, 3, Message{});  // bare signal, no payload.
       } else {
@@ -91,8 +91,8 @@ TEST(PvmMessage, CrossNodeRecvChargesRemoteReads) {
   auto remote_misses = [](unsigned nodes, Placement placement) {
     rt::Runtime rt(Topology{.nodes = nodes});
     rt.run([&] {
-      Pvm vm(rt);
-      vm.spawn(2, placement, [&](Pvm& vm, int me, int) {
+      Pvm root(rt);
+      root.spawn(2, placement, [&](Pvm& vm, int me, int) {
         std::vector<double> buf(512, 1.0);
         if (me == 0) {
           Message m;
@@ -114,8 +114,8 @@ TEST(Pvm, PingPong) {
   rt::Runtime rt(Topology{.nodes = 1});
   double received = 0;
   rt.run([&] {
-    Pvm vm(rt);
-    vm.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
+    Pvm root(rt);
+    root.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
       if (me == 0) {
         Message m;
         const double payload = 3.25;
@@ -141,8 +141,8 @@ TEST(Pvm, OrderingPerSenderPreserved) {
   rt::Runtime rt(Topology{.nodes = 1});
   std::vector<int> order;
   rt.run([&] {
-    Pvm vm(rt);
-    vm.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
+    Pvm root(rt);
+    root.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
       if (me == 0) {
         for (int k = 0; k < 5; ++k) {
           Message m;
@@ -166,8 +166,8 @@ TEST(Pvm, WildcardReceive) {
   rt::Runtime rt(Topology{.nodes = 2});
   int sum = 0;
   rt.run([&] {
-    Pvm vm(rt);
-    vm.spawn(4, Placement::kUniform, [&](Pvm& vm, int me, int n) {
+    Pvm root(rt);
+    root.spawn(4, Placement::kUniform, [&](Pvm& vm, int me, int n) {
       if (me == 0) {
         for (int k = 0; k < n - 1; ++k) {
           Message m = vm.recv(-1, -1);
@@ -189,8 +189,8 @@ TEST(Pvm, TagFilteringLeavesOthersQueued) {
   rt::Runtime rt(Topology{.nodes = 1});
   std::vector<int> tags;
   rt.run([&] {
-    Pvm vm(rt);
-    vm.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
+    Pvm root(rt);
+    root.spawn(2, Placement::kHighLocality, [&](Pvm& vm, int me, int) {
       if (me == 0) {
         for (int tag : {5, 9, 5}) {
           Message m;
@@ -215,8 +215,8 @@ sim::Time round_trip(unsigned nodes, Placement placement, std::size_t bytes) {
   rt::Runtime rt(Topology{.nodes = nodes});
   sim::Time rtt = 0;
   rt.run([&] {
-    Pvm vm(rt);
-    vm.spawn(2, placement, [&](Pvm& vm, int me, int) {
+    Pvm root(rt);
+    root.spawn(2, placement, [&](Pvm& vm, int me, int) {
       std::vector<double> buf(bytes / 8, 1.0);
       if (me == 0) {
         // Warm-up exchange.

@@ -5,6 +5,7 @@
 //   sppsim-explore barrier  [--nodes N] [--threads T]
 //   sppsim-explore message  [--nodes N] [--bytes B]
 //   sppsim-explore chaos    [--nodes N] [--bytes B] [--rounds R]
+//   sppsim-explore check    [--nodes N] [--threads T]
 //   sppsim-explore map      [--nodes N]
 //
 // Any runtime-backed command accepts --fault-plan FILE (docs/FAULTS.md) to
@@ -21,7 +22,12 @@
 #include <string>
 #include <vector>
 
+#include "spp/apps/fem/femgas.h"
+#include "spp/apps/nbody/nbody.h"
+#include "spp/apps/pic/pic.h"
+#include "spp/apps/ppm/ppm.h"
 #include "spp/arch/machine.h"
+#include "spp/check/check.h"
 #include "spp/fault/fault.h"
 #include "spp/prof/profiler.h"
 #include "spp/pvm/pvm.h"
@@ -151,8 +157,8 @@ int cmd_message(const Args& a) {
   rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
   const auto inj = injector_for(a, runtime);
   runtime.run([&] {
-    pvm::Pvm vm(runtime);
-    vm.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+    pvm::Pvm root(runtime);
+    root.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
       std::vector<double> buf(a.bytes / 8 + 1, 1.0);
       if (me == 0) {
         pvm::Message m;
@@ -190,8 +196,8 @@ int cmd_chaos(const Args& a) {
   inj.attach(runtime);
 
   runtime.run([&] {
-    pvm::Pvm vm(runtime);
-    vm.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+    pvm::Pvm root(runtime);
+    root.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
       std::vector<double> buf(a.bytes / 8 + 1, 1.0);
       for (unsigned r = 0; r < a.rounds; ++r) {
         if (me == 0) {
@@ -212,6 +218,121 @@ int cmd_chaos(const Args& a) {
     prof::Profiler prof(runtime, 2);
     prof.fault_report();
   });
+  return 0;
+}
+
+/// Runs every microbenchmark shape and all four applications at small
+/// configurations under full checking (coherence oracle + race detector +
+/// wait-for deadlock analysis); exits nonzero if any scenario is not clean.
+int cmd_check(const Args& a) {
+  unsigned failures = 0;
+  std::printf("full-checking sweep: %u hypernode(s), %u threads\n\n", a.nodes,
+              a.threads);
+
+  const auto scenario = [&](const char* name, auto&& body) {
+    rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+    check::Checker checker(runtime);
+    runtime.run([&] { body(runtime); });
+    std::printf("  %-20s %10llu events %6llu violations %4llu races  %s\n",
+                name,
+                static_cast<unsigned long long>(checker.oracle().events()),
+                static_cast<unsigned long long>(checker.oracle().violations()),
+                static_cast<unsigned long long>(checker.races().races()),
+                checker.clean() ? "clean" : "NOT CLEAN");
+    if (!checker.clean()) {
+      checker.report(stdout);
+      ++failures;
+    }
+  };
+
+  // --- microbenchmarks: one per synchronization shape -----------------------
+  scenario("forkjoin", [&](rt::Runtime& rt) {
+    const arch::VAddr va = rt.alloc(a.threads * 64, arch::MemClass::kFarShared,
+                                    "check.slots");
+    rt.parallel(a.threads, rt::Placement::kUniform, [&](unsigned i, unsigned) {
+      rt.write(va + i * 64, 8);  // disjoint slots: fork/join edges only.
+    });
+    rt.read(va, 8);
+  });
+  scenario("barrier", [&](rt::Runtime& rt) {
+    const arch::VAddr va = rt.alloc(a.threads * 64, arch::MemClass::kFarShared,
+                                    "check.ring");
+    rt::Barrier barrier(rt, a.threads);
+    rt.parallel(a.threads, rt::Placement::kUniform,
+                [&](unsigned i, unsigned n) {
+                  rt.write(va + i * 64, 8);
+                  barrier.wait();
+                  rt.read(va + ((i + 1) % n) * 64, 8);  // neighbor's slot.
+                });
+  });
+  scenario("lock", [&](rt::Runtime& rt) {
+    const arch::VAddr va =
+        rt.alloc(arch::kLineBytes, arch::MemClass::kNearShared, "check.ctr");
+    rt::Lock lock(rt);
+    rt.parallel(a.threads, rt::Placement::kUniform, [&](unsigned, unsigned) {
+      rt::CriticalSection cs(lock);
+      rt.read(va, 8);
+      rt.write(va, 8);
+    });
+  });
+  scenario("message", [&](rt::Runtime& rt) {
+    pvm::Pvm root(rt);
+    root.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+      std::vector<double> buf(64, 1.0);
+      if (me == 0) {
+        pvm::Message m;
+        m.pack(buf.data(), buf.size());
+        vm.send(1, 1, std::move(m));
+        vm.recv(1, 2);
+      } else {
+        pvm::Message m = vm.recv(0, 1);
+        m.tag = 2;
+        vm.send(0, 2, std::move(m));
+      }
+    });
+  });
+
+  // --- the four applications at small configurations ------------------------
+  scenario("nbody", [&](rt::Runtime& rt) {
+    nbody::NbodyConfig cfg;
+    cfg.n = 256;
+    cfg.steps = 1;
+    nbody::NbodyShared nb(rt, cfg, a.threads, rt::Placement::kUniform);
+    (void)nb.run();
+  });
+  scenario("femgas", [&](rt::Runtime& rt) {
+    fem::FemConfig cfg;
+    cfg.nx = 16;
+    cfg.ny = 8;
+    cfg.steps = 2;
+    fem::FemGas femgas(rt, cfg, a.threads, rt::Placement::kUniform);
+    femgas.init_uniform(1.0, 0.3, -0.1, 1.0);
+    (void)femgas.run();
+  });
+  scenario("pic", [&](rt::Runtime& rt) {
+    pic::PicConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.steps = 2;
+    pic::PicShared pic(rt, cfg, a.threads, rt::Placement::kUniform);
+    (void)pic.run();
+  });
+  scenario("ppm", [&](rt::Runtime& rt) {
+    ppm::PpmConfig cfg;
+    cfg.nx = 24;
+    cfg.ny = 48;
+    cfg.tiles_x = 2;
+    cfg.tiles_y = 4;
+    cfg.steps = 2;
+    ppm::PpmTiled ppm(rt, cfg, a.threads, rt::Placement::kUniform);
+    ppm.init_sod_x();
+    (void)ppm.run();
+  });
+
+  if (failures != 0) {
+    std::printf("\ncheck: %u scenario(s) NOT clean\n", failures);
+    return 1;
+  }
+  std::printf("\ncheck: all scenarios clean\n");
   return 0;
 }
 
@@ -241,6 +362,7 @@ int main(int argc, char** argv) {
     if (a.cmd == "barrier") return cmd_barrier(a);
     if (a.cmd == "message") return cmd_message(a);
     if (a.cmd == "chaos") return cmd_chaos(a);
+    if (a.cmd == "check") return cmd_check(a);
     if (a.cmd == "map") return cmd_map(a);
   } catch (const std::exception& e) {
     // ConfigError for malformed plans; TimeoutError / runtime_error when a
@@ -251,7 +373,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: sppsim-explore "
-               "latency|forkjoin|barrier|message|chaos|map "
+               "latency|forkjoin|barrier|message|chaos|check|map "
                "[--nodes N] [--threads T] [--bytes B] [--l1-kb K] "
                "[--rounds R] [--fault-plan FILE]\n");
   return 2;
