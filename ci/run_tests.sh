@@ -3,9 +3,12 @@
 # plain, then under AddressSanitizer + UBSan, then under ThreadSanitizer
 # (SPP_SANITIZE, see the top-level CMakeLists.txt), and finally as a
 # -Werror strict-warnings build (SPP_WERROR).  Any leg failing fails the
-# gate.
+# gate.  The sanitized leg also runs the end-to-end survivable-run smoke
+# (sppsim-explore survive + chaos, docs/RECOVERY.md): all four apps must
+# recover from a mid-run CPU fail-stop to the fault-free answer, under
+# asan, with the spp::check oracles attached.
 #
-# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only]
+# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,11 +28,27 @@ if [[ "$MODE" == "all" || "$MODE" == "--plain-only" ]]; then
   run_suite build
 fi
 
+survive_smoke() {
+  local builddir="$1"
+  echo "=== tier-1: survivable-run smoke ($builddir) ==="
+  "$builddir/tools/sppsim-explore" survive --nodes 2 --threads 8
+  "$builddir/tools/sppsim-explore" chaos --nodes 2 --rounds 64
+}
+
 if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
   echo "=== tier-1: address,undefined sanitized build ==="
   run_suite build-asan \
     -DSPP_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  survive_smoke build-asan
+fi
+
+if [[ "$MODE" == "--survive-only" ]]; then
+  cmake -B build-asan -S . \
+    -DSPP_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" --target sppsim-explore
+  survive_smoke build-asan
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "spp/ckpt/ckpt.h"
+
 namespace spp::fem {
 
 namespace {
@@ -243,8 +245,28 @@ FemResult FemGas::run() {
   rt_.machine().reset_stats();
   const sim::Time t0 = rt_.now();
 
+  // Migrate-and-restore recovery (docs/RECOVERY.md): the point state u_ is
+  // the only step-to-step state, so snapshotting it every K steps and
+  // replaying from the last epoch after a fail-stop reproduces the
+  // fault-free run bit-exactly.  With ckpt_interval == 0 nothing below
+  // allocates, charges, or synchronizes.
+  std::unique_ptr<ckpt::Store> store;
+  if (cfg_.ckpt_interval > 0) {
+    store = std::make_unique<ckpt::Store>(rt_);
+    store->registrar().add("fem.u", *u_);
+  }
+  std::uint64_t seen_recoveries = rt_.machine().perf().cpu_recoveries;
+  unsigned next_step = 0;
+
   rt_.parallel(nthreads_, placement_, [&](unsigned tid, unsigned n) {
-    for (unsigned step = 0; step < cfg_.steps; ++step) {
+    for (unsigned step = 0; step < cfg_.steps;) {
+      if (store) {
+        if (tid == 0 && step % cfg_.ckpt_interval == 0 &&
+            !store->has_epoch(step)) {
+          store->capture(step);
+        }
+        barrier_->wait();
+      }
       const double dt = wave_speed_phase(tid, n);
       if (cfg_.coding == Coding::kStoreResiduals) {
         element_phase(tid, n);
@@ -254,6 +276,25 @@ FemResult FemGas::run() {
       barrier_->wait();
       point_phase(tid, n, dt);
       barrier_->wait();
+      if (store) {
+        if (tid == 0) {
+          const std::uint64_t rec = rt_.machine().perf().cpu_recoveries;
+          if (rec != seen_recoveries && store->latest() >= 0) {
+            // A thread migrated off a fail-stopped CPU this step: the data
+            // is intact but mid-step work interleaved with the failure, so
+            // roll back to the last epoch and replay.
+            store->restore(static_cast<std::uint64_t>(store->latest()));
+            next_step = static_cast<unsigned>(store->latest());
+          } else {
+            next_step = step + 1;
+          }
+          seen_recoveries = rec;
+        }
+        barrier_->wait();
+        step = next_step;
+      } else {
+        ++step;
+      }
     }
   });
 

@@ -49,6 +49,11 @@ struct FemConfig {
   unsigned steps = 10;
   Coding coding = Coding::kStoreResiduals;
   bool morton = true;
+  /// Checkpoint the point state every K steps (0 = off); with faults
+  /// injected the run rolls back to the last epoch after a CPU fail-stop
+  /// and replays, ending bit-exact with the fault-free run
+  /// (docs/RECOVERY.md).
+  unsigned ckpt_interval = 0;
 };
 
 struct FemDiagnostics {

@@ -7,6 +7,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "spp/ckpt/ckpt.h"
 #include "spp/sim/rng.h"
 
 namespace spp::nbody {
@@ -380,8 +381,34 @@ NbodyResult NbodyShared::run() {
   const sim::Time t0 = rt_.now();
   sim::Time force_time = 0;
 
+  // Migrate-and-restore recovery (docs/RECOVERY.md): positions and
+  // velocities carry all step-to-step state (the tree and forces are
+  // rebuilt every step), so a rollback-and-replay after a fail-stop
+  // reproduces the fault-free trajectory bit-exactly.  Note interactions_
+  // keeps counting during replay: it reports work performed, which
+  // legitimately includes the replayed steps.
+  std::unique_ptr<ckpt::Store> store;
+  if (cfg_.ckpt_interval > 0) {
+    store = std::make_unique<ckpt::Store>(rt_);
+    store->registrar().add("nbody.px", *px_);
+    store->registrar().add("nbody.py", *py_);
+    store->registrar().add("nbody.pz", *pz_);
+    store->registrar().add("nbody.vx", *vx_);
+    store->registrar().add("nbody.vy", *vy_);
+    store->registrar().add("nbody.vz", *vz_);
+  }
+  std::uint64_t seen_recoveries = rt_.machine().perf().cpu_recoveries;
+  unsigned next_step = 0;
+
   rt_.parallel(nthreads_, placement_, [&](unsigned tid, unsigned n) {
-    for (unsigned step = 0; step < cfg_.steps; ++step) {
+    for (unsigned step = 0; step < cfg_.steps;) {
+      if (store) {
+        if (tid == 0 && step % cfg_.ckpt_interval == 0 &&
+            !store->has_epoch(step)) {
+          store->capture(step);
+        }
+        barrier_->wait();
+      }
       if (tid == 0) build_tree();
       barrier_->wait();
       const sim::Time f0 = rt_.now();
@@ -390,6 +417,22 @@ NbodyResult NbodyShared::run() {
       if (tid == 0) force_time += rt_.now() - f0;
       push_phase(tid, n);
       barrier_->wait();
+      if (store) {
+        if (tid == 0) {
+          const std::uint64_t rec = rt_.machine().perf().cpu_recoveries;
+          if (rec != seen_recoveries && store->latest() >= 0) {
+            store->restore(static_cast<std::uint64_t>(store->latest()));
+            next_step = static_cast<unsigned>(store->latest());
+          } else {
+            next_step = step + 1;
+          }
+          seen_recoveries = rec;
+        }
+        barrier_->wait();
+        step = next_step;
+      } else {
+        ++step;
+      }
     }
   });
 

@@ -35,6 +35,12 @@ struct NbodyConfig {
   unsigned steps = 2;
   unsigned leaf_capacity = 8;  ///< particles per leaf before splitting.
   std::uint64_t seed = 777;
+  /// Checkpoint positions/velocities every K steps (0 = off, see
+  /// docs/RECOVERY.md).  NbodyShared recovers from a CPU fail-stop by
+  /// migrate-and-restore (bit-exact with the fault-free run); NbodyPvm by
+  /// ULFM-style shrink + rollback (small tolerance: the final diagnostics
+  /// reduction order changes with the group).
+  unsigned ckpt_interval = 0;
 };
 
 /// Oct-tree node, stored in globally shared memory.

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <numbers>
+#include <tuple>
 #include <vector>
 
+#include "spp/ckpt/ckpt.h"
 #include "spp/rt/garray.h"
 #include "spp/sim/rng.h"
 
@@ -13,9 +16,17 @@ namespace spp::nbody {
 
 namespace {
 
-constexpr int kTagGather = 40;
-constexpr int kTagTree = 41;
-constexpr int kTagDiag = 42;
+// Application tags, spaced 100 apart: under recovery every tag is offset by
+// the group generation (initial ntasks - live tasks) so stale in-flight
+// messages from an abandoned step can never match a post-rollback receive
+// (docs/RECOVERY.md).  Generations are < ntasks << 100.
+constexpr int kTagGather = 100;
+constexpr int kTagTree = 200;
+constexpr int kTagDiag = 300;
+constexpr int kTagCkpt = 400;    ///< slice -> rank 0 at a checkpoint step.
+constexpr int kTagResume = 500;  ///< rank 0 -> survivor: epoch + new slice.
+constexpr int kTagDone = 600;    ///< rank 0 -> all: final combine landed.
+
 constexpr double kInteractFlops = 22;
 constexpr double kNodeVisitFlops = 8;
 constexpr double kPushFlops = 18;
@@ -137,8 +148,15 @@ NbodyResult NbodyPvm::run() {
   rt_.machine().reset_stats();
   const std::size_t n = cfg_.n;
   const sim::Time t0 = rt_.now();
+  const unsigned kk = cfg_.ckpt_interval;
+  const bool recover = kk > 0;
 
-  // Deterministic Plummer load, identical to NbodyShared's.
+  // Deterministic Plummer load, identical to NbodyShared's.  Under recovery
+  // these run-scope vectors double as the checkpoint mirror: they hold the
+  // full particle state as of the last epoch (the initial load until the
+  // first capture), survive any task's death, and are the source the
+  // post-shrink rank 0 redistributes from.  Masses are constant (1/n), so
+  // slices re-derive them from gm instead of checkpointing them.
   std::vector<double> gx(n), gy(n), gz(n), gvx(n), gvy(n), gvz(n), gm(n);
   {
     sim::Rng rng(cfg_.seed);
@@ -175,11 +193,29 @@ NbodyResult NbodyPvm::run() {
   std::uint64_t interactions = 0;
   double fin_kin = 0, fin_px = 0, fin_py = 0, fin_pz = 0;
 
+  std::unique_ptr<ckpt::Store> store;
+  if (recover) {
+    root.set_fail_stop_kill(true);
+    store = std::make_unique<ckpt::Store>(rt_);
+    store->registrar().add_host("nbpvm.px", gx);
+    store->registrar().add_host("nbpvm.py", gy);
+    store->registrar().add_host("nbpvm.pz", gz);
+    store->registrar().add_host("nbpvm.vx", gvx);
+    store->registrar().add_host("nbpvm.vy", gvy);
+    store->registrar().add_host("nbpvm.vz", gvz);
+  }
+
   root.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
     rt::Runtime& rt = vm.runtime();
-    const auto [pb, pe] = split(n, ntasks, static_cast<unsigned>(me));
-    const std::size_t mine = pe - pb;
     const unsigned my_node = rt.topo().node_of_cpu(rt.cpu());
+
+    if (recover) vm.notify(-1);
+    pvm::Group g(vm);
+    int rank = me, live = ntasks, gen = 0;
+    std::size_t pb, pe;
+    std::tie(pb, pe) = split(n, static_cast<unsigned>(ntasks),
+                             static_cast<unsigned>(me));
+    std::size_t mine = pe - pb;
 
     // Task-private state (charged against a node-local window).
     std::vector<double> x(gx.begin() + pb, gx.begin() + pe);
@@ -196,16 +232,70 @@ NbodyResult NbodyPvm::run() {
     std::vector<double> ax(n), ay(n), az(n), am(n);  // replicated coords
     HostTree tree;
 
-    for (unsigned step = 0; step < cfg_.steps; ++step) {
+    // Resets this task's slice to mirror state for the range [b, e).
+    auto load_slice = [&](std::size_t b, std::size_t e) {
+      pb = b;
+      pe = e;
+      mine = e - b;
+      x.assign(gx.begin() + b, gx.begin() + e);
+      y.assign(gy.begin() + b, gy.begin() + e);
+      z.assign(gz.begin() + b, gz.begin() + e);
+      vx.assign(gvx.begin() + b, gvx.begin() + e);
+      vy.assign(gvy.begin() + b, gvy.begin() + e);
+      vz.assign(gvz.begin() + b, gvz.begin() + e);
+      mass.assign(gm.begin() + b, gm.begin() + e);
+    };
+
+    unsigned step = 0;
+    bool finished = false;
+    while (!finished) {
+    try {
+    while (step < cfg_.steps) {
+      // ---- coordinated checkpoint: slices to rank 0, then capture ---------
+      // Replays re-capture the epochs they pass through, keeping the
+      // replay's traffic pattern the same as the original run's.
+      if (recover && step % kk == 0) {
+        if (rank == 0) {
+          std::copy(x.begin(), x.end(), gx.begin() + pb);
+          std::copy(y.begin(), y.end(), gy.begin() + pb);
+          std::copy(z.begin(), z.end(), gz.begin() + pb);
+          std::copy(vx.begin(), vx.end(), gvx.begin() + pb);
+          std::copy(vy.begin(), vy.end(), gvy.begin() + pb);
+          std::copy(vz.begin(), vz.end(), gvz.begin() + pb);
+          for (int r = 1; r < live; ++r) {
+            pvm::Message m = vm.recv(-1, kTagCkpt + gen);
+            const auto rr = static_cast<unsigned>(g.rank_of(m.sender));
+            const auto [sb, se] = split(n, static_cast<unsigned>(live), rr);
+            m.unpack(gx.data() + sb, se - sb);
+            m.unpack(gy.data() + sb, se - sb);
+            m.unpack(gz.data() + sb, se - sb);
+            m.unpack(gvx.data() + sb, se - sb);
+            m.unpack(gvy.data() + sb, se - sb);
+            m.unpack(gvz.data() + sb, se - sb);
+          }
+          store->capture(step);
+        } else {
+          pvm::Message m;
+          m.pack(x.data(), mine);
+          m.pack(y.data(), mine);
+          m.pack(z.data(), mine);
+          m.pack(vx.data(), mine);
+          m.pack(vy.data(), mine);
+          m.pack(vz.data(), mine);
+          vm.send(g.tid_of(0), kTagCkpt + gen, std::move(m));
+        }
+      }
+
       // ---- gather all positions on task 0 --------------------------------
-      if (me == 0) {
-        std::copy(x.begin(), x.end(), ax.begin());
-        std::copy(y.begin(), y.end(), ay.begin());
-        std::copy(z.begin(), z.end(), az.begin());
-        std::copy(mass.begin(), mass.end(), am.begin());
-        for (int t = 1; t < ntasks; ++t) {
-          pvm::Message m = vm.recv(-1, kTagGather);
-          const auto [tb, te] = split(n, ntasks, static_cast<unsigned>(m.sender));
+      if (rank == 0) {
+        std::copy(x.begin(), x.end(), ax.begin() + pb);
+        std::copy(y.begin(), y.end(), ay.begin() + pb);
+        std::copy(z.begin(), z.end(), az.begin() + pb);
+        std::copy(mass.begin(), mass.end(), am.begin() + pb);
+        for (int t = 1; t < live; ++t) {
+          pvm::Message m = vm.recv(-1, kTagGather + gen);
+          const auto rr = static_cast<unsigned>(g.rank_of(m.sender));
+          const auto [tb, te] = split(n, static_cast<unsigned>(live), rr);
           m.unpack(&ax[tb], te - tb);
           m.unpack(&ay[tb], te - tb);
           m.unpack(&az[tb], te - tb);
@@ -218,7 +308,7 @@ NbodyResult NbodyPvm::run() {
         tree_window.touch_range(0, tree.nodes.size() * 6, true);
 
         // ---- broadcast tree + coordinates -------------------------------
-        for (int t = 1; t < ntasks; ++t) {
+        for (int t = 1; t < live; ++t) {
           pvm::Message m;
           const auto nn = static_cast<std::int64_t>(tree.nodes.size());
           m.pack(&nn, 1);
@@ -229,7 +319,7 @@ NbodyResult NbodyPvm::run() {
           m.pack(ay.data(), n);
           m.pack(az.data(), n);
           m.pack(am.data(), n);
-          vm.send(t, kTagTree, std::move(m));
+          vm.send(g.tid_of(t), kTagTree + gen, std::move(m));
         }
       } else {
         pvm::Message m;
@@ -237,9 +327,9 @@ NbodyResult NbodyPvm::run() {
         m.pack(y.data(), mine);
         m.pack(z.data(), mine);
         m.pack(mass.data(), mine);
-        vm.send(0, kTagGather, std::move(m));
+        vm.send(g.tid_of(0), kTagGather + gen, std::move(m));
 
-        pvm::Message t = vm.recv(0, kTagTree);
+        pvm::Message t = vm.recv(g.tid_of(0), kTagTree + gen);
         std::int64_t nn = 0;
         t.unpack(&nn, 1);
         tree.nodes.resize(static_cast<std::size_t>(nn));
@@ -254,6 +344,8 @@ NbodyResult NbodyPvm::run() {
       }
 
       // ---- force + push on the private slice ------------------------------
+      // interactions keeps counting replayed work: redone interactions are
+      // genuine simulated effort and belong in the recovery-overhead story.
       const double eps2 = cfg_.eps * cfg_.eps;
       const double th2 = cfg_.theta * cfg_.theta;
       for (std::size_t q = 0; q < mine; ++q) {
@@ -308,35 +400,103 @@ NbodyResult NbodyPvm::run() {
         z[q] += cfg_.dt * vz[q];
         rt.work_flops(kPushFlops);
       }
+      ++step;
     }
 
     // ---- diagnostics to task 0 --------------------------------------------
-    double local[4] = {0, 0, 0, 0};
-    for (std::size_t q = 0; q < mine; ++q) {
-      local[0] += 0.5 * mass[q] *
-                  (vx[q] * vx[q] + vy[q] * vy[q] + vz[q] * vz[q]);
-      local[1] += mass[q] * vx[q];
-      local[2] += mass[q] * vy[q];
-      local[3] += mass[q] * vz[q];
-    }
-    if (me == 0) {
-      fin_kin = local[0];
-      fin_px = local[1];
-      fin_py = local[2];
-      fin_pz = local[3];
-      for (int t = 1; t < ntasks; ++t) {
-        pvm::Message m = vm.recv(-1, kTagDiag);
-        double other[4];
-        m.unpack(other, 4);
-        fin_kin += other[0];
-        fin_px += other[1];
-        fin_py += other[2];
-        fin_pz += other[3];
+    {
+      double local[4] = {0, 0, 0, 0};
+      for (std::size_t q = 0; q < mine; ++q) {
+        local[0] += 0.5 * mass[q] *
+                    (vx[q] * vx[q] + vy[q] * vy[q] + vz[q] * vz[q]);
+        local[1] += mass[q] * vx[q];
+        local[2] += mass[q] * vy[q];
+        local[3] += mass[q] * vz[q];
       }
-    } else {
-      pvm::Message m;
-      m.pack(local, 4);
-      vm.send(0, kTagDiag, std::move(m));
+      if (rank == 0) {
+        fin_kin = local[0];
+        fin_px = local[1];
+        fin_py = local[2];
+        fin_pz = local[3];
+        for (int t = 1; t < live; ++t) {
+          pvm::Message m = vm.recv(-1, kTagDiag + gen);
+          double other[4];
+          m.unpack(other, 4);
+          fin_kin += other[0];
+          fin_px += other[1];
+          fin_py += other[2];
+          fin_pz += other[3];
+        }
+      } else {
+        pvm::Message m;
+        m.pack(local, 4);
+        vm.send(g.tid_of(0), kTagDiag + gen, std::move(m));
+      }
+    }
+
+    // ---- completion handshake (recovery mode only) -------------------------
+    // Nobody exits until rank 0's diagnostics combine has landed, so a
+    // failure in the final step or the combine itself still finds every
+    // survivor alive to rejoin the replay.
+    if (recover) {
+      if (rank == 0) {
+        for (int r = 1; r < live; ++r) {
+          pvm::Message m;
+          const std::uint32_t ok = 1;
+          m.pack(&ok, 1);
+          vm.send(g.tid_of(r), kTagDone + gen, std::move(m));
+        }
+      } else {
+        (void)vm.recv(g.tid_of(0), kTagDone + gen);
+      }
+    }
+    finished = true;
+    } catch (const pvm::TaskFailedError&) {
+      if (!recover) throw;
+      // ULFM-style recovery: acknowledge, shrink, roll back, redistribute.
+      vm.ack_failures();
+      g.shrink();
+      gen = ntasks - g.size();
+      live = g.size();
+      rank = g.rank_of(me);
+      if (rank == 0) {
+        const std::int64_t epoch = store->latest();
+        // No snapshot yet: the mirror still holds the initial load and the
+        // run restarts from step 0.
+        if (epoch >= 0) store->restore(static_cast<std::uint64_t>(epoch));
+        const auto rs = static_cast<std::uint32_t>(epoch < 0 ? 0 : epoch);
+        for (int r = 1; r < live; ++r) {
+          const auto [sb, se] =
+              split(n, static_cast<unsigned>(live), static_cast<unsigned>(r));
+          pvm::Message m;
+          m.pack(&rs, 1);
+          m.pack(gx.data() + sb, se - sb);
+          m.pack(gy.data() + sb, se - sb);
+          m.pack(gz.data() + sb, se - sb);
+          m.pack(gvx.data() + sb, se - sb);
+          m.pack(gvy.data() + sb, se - sb);
+          m.pack(gvz.data() + sb, se - sb);
+          vm.send(g.tid_of(r), kTagResume + gen, std::move(m));
+        }
+        const auto [sb, se] = split(n, static_cast<unsigned>(live), 0u);
+        load_slice(sb, se);
+        step = rs;
+      } else {
+        pvm::Message m = vm.recv(g.tid_of(0), kTagResume + gen);
+        std::uint32_t rs = 0;
+        m.unpack(&rs, 1);
+        const auto [sb, se] =
+            split(n, static_cast<unsigned>(live), static_cast<unsigned>(rank));
+        load_slice(sb, se);
+        m.unpack(x.data(), mine);
+        m.unpack(y.data(), mine);
+        m.unpack(z.data(), mine);
+        m.unpack(vx.data(), mine);
+        m.unpack(vy.data(), mine);
+        m.unpack(vz.data(), mine);
+        step = rs;
+      }
+    }
     }
   });
 

@@ -14,6 +14,12 @@
 // and push.  The tree+particle broadcast is the prohibitive packing traffic:
 // every unpack streams the whole structure through the receiver's cache at
 // per-line rates.
+//
+// With NbodyConfig::ckpt_interval > 0 the run is survivable: tasks subscribe
+// to failure notification, ship their slices to rank 0 for a coordinated
+// spp::ckpt snapshot every K steps, and recover from a CPU fail-stop by
+// shrinking the group, rolling back to the last epoch, and redistributing
+// the surviving work (docs/RECOVERY.md).
 #pragma once
 
 #include "spp/apps/nbody/nbody.h"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "spp/ckpt/ckpt.h"
 #include "spp/fft/fft.h"
 
 namespace spp::pic {
@@ -405,8 +406,34 @@ PicResult PicShared::run() {
   rt_.machine().reset_stats();
   const sim::Time t0 = rt_.now();
 
+  // Migrate-and-restore recovery (docs/RECOVERY.md): the particle arrays
+  // carry all step-to-step state (rho and the fields are rebuilt every
+  // step), so rolling them back to the last epoch after a fail-stop and
+  // replaying -- truncating the per-step history to the epoch -- reproduces
+  // the fault-free run bit-exactly.  ckpt_interval == 0 leaves this path
+  // untouched.
+  std::unique_ptr<ckpt::Store> store;
+  if (cfg_.ckpt_interval > 0) {
+    store = std::make_unique<ckpt::Store>(rt_);
+    store->registrar().add("pic.px", *px_);
+    store->registrar().add("pic.py", *py_);
+    store->registrar().add("pic.pz", *pz_);
+    store->registrar().add("pic.vx", *vx_);
+    store->registrar().add("pic.vy", *vy_);
+    store->registrar().add("pic.vz", *vz_);
+  }
+  std::uint64_t seen_recoveries = rt_.machine().perf().cpu_recoveries;
+  unsigned next_step = 0;
+
   rt_.parallel(nthreads_, placement_, [&](unsigned tid, unsigned n) {
-    for (unsigned step = 0; step < cfg_.steps; ++step) {
+    for (unsigned step = 0; step < cfg_.steps;) {
+      if (store) {
+        if (tid == 0 && step % cfg_.ckpt_interval == 0 &&
+            !store->has_epoch(step)) {
+          store->capture(step);
+        }
+        barrier_->wait();
+      }
       sim::Time p0 = rt_.now();
       deposit(tid, n);
       barrier_->wait();
@@ -425,6 +452,25 @@ PicResult PicShared::run() {
         if (step == 0) res.initial = d;
       }
       barrier_->wait();
+      if (store) {
+        if (tid == 0) {
+          const std::uint64_t rec = rt_.machine().perf().cpu_recoveries;
+          if (rec != seen_recoveries && store->latest() >= 0) {
+            const auto epoch = static_cast<unsigned>(store->latest());
+            store->restore(epoch);
+            // Entries for steps >= epoch belong to the abandoned timeline.
+            res.field_energy_history.resize(epoch);
+            next_step = epoch;
+          } else {
+            next_step = step + 1;
+          }
+          seen_recoveries = rec;
+        }
+        barrier_->wait();
+        step = next_step;
+      } else {
+        ++step;
+      }
     }
   });
 

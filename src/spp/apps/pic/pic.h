@@ -39,6 +39,12 @@ struct PicConfig {
   double dt = 0.1;
   unsigned steps = 10;
   std::uint64_t seed = 12345;
+  /// Checkpoint the particle state every K steps (0 = off, see
+  /// docs/RECOVERY.md).  PicShared recovers from a CPU fail-stop by
+  /// migrate-and-restore (bit-exact with the fault-free run); PicPvm by
+  /// ULFM-style shrink + rollback (small tolerance: the charge combine
+  /// order changes with the group).
+  unsigned ckpt_interval = 0;
 
   std::size_t cells() const { return nx * ny * nz; }
   std::size_t particles() const {

@@ -1,8 +1,12 @@
 #include "spp/apps/pic/pic_pvm.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numbers>
+#include <tuple>
 
+#include "spp/ckpt/ckpt.h"
 #include "spp/fft/fft.h"
 #include "spp/rt/garray.h"
 
@@ -13,6 +17,13 @@ namespace {
 constexpr int kTagRho = 100;
 constexpr int kTagField = 200;
 constexpr int kTagDiag = 300;
+// Recovery-protocol tags (docs/RECOVERY.md).  Every application tag is
+// offset by the group generation (initial ntasks - live tasks) so stale
+// in-flight messages from an abandoned step can never match a post-rollback
+// receive.  Generations are < ntasks << 100, so the bases cannot collide.
+constexpr int kTagCkpt = 400;    ///< slice -> rank 0 at a checkpoint step.
+constexpr int kTagResume = 500;  ///< rank 0 -> survivor: epoch + new slice.
+constexpr int kTagDone = 600;    ///< rank 0 -> all: final combine landed.
 
 constexpr double kDepositFlops = 33;
 constexpr double kPushFlops = 70;
@@ -47,77 +58,165 @@ PicResult PicPvm::run() {
   const std::size_t nc = cfg_.cells();
   const std::size_t np = cfg_.particles();
   const std::size_t nx = cfg_.nx, ny = cfg_.ny, nz = cfg_.nz;
+  const unsigned kk = cfg_.ckpt_interval;
+  const bool recover = kk > 0;
 
   pvm::Pvm root(rt_);
   double final_kinetic = 0, final_momentum = 0, final_field = 0,
          final_charge = 0;
   std::vector<double> field_history;
 
+  // Deterministic global particle load, identical to PicShared: generate the
+  // full stream and keep [b, e).
+  auto generate_initial = [&](double* px, double* py, double* pz, double* vx,
+                              double* vy, double* vz, std::size_t b,
+                              std::size_t e) {
+    sim::Rng rng(cfg_.seed);
+    std::size_t p = 0;
+    for (std::size_t iz = 0; iz < nz; ++iz) {
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+          for (unsigned k = 0; k < cfg_.plasma_per_cell + cfg_.beam_per_cell;
+               ++k, ++p) {
+            const bool beam = k >= cfg_.plasma_per_cell;
+            const double x = static_cast<double>(ix) + rng.next_double();
+            const double y = static_cast<double>(iy) + rng.next_double();
+            const double z = static_cast<double>(iz) + rng.next_double();
+            double vxp, vyp, vzp;
+            if (beam) {
+              vxp = vyp = 0;
+              vzp = cfg_.beam_velocity * cfg_.vth;
+            } else {
+              vxp = rng.gaussian(0, cfg_.vth);
+              vyp = rng.gaussian(0, cfg_.vth);
+              vzp = rng.gaussian(0, cfg_.vth);
+            }
+            if (p >= b && p < e) {
+              const std::size_t q = p - b;
+              px[q] = x;
+              py[q] = y;
+              pz[q] = z;
+              vx[q] = vxp;
+              vy[q] = vyp;
+              vz[q] = vzp;
+            }
+          }
+        }
+      }
+    }
+  };
+
+  // Recovery state lives at run scope, on the host side, so it survives the
+  // death of any task -- including task 0: whoever becomes rank 0 after the
+  // shrink picks it up.  The mirror holds the full particle state as of the
+  // last checkpoint epoch; until the first capture it holds the initial load,
+  // so a failure before any snapshot exists restarts cleanly from step 0.
+  std::unique_ptr<ckpt::Store> store;
+  std::vector<double> gx, gy, gz, gvx, gvy, gvz;  ///< full-state mirror.
+  if (recover) {
+    root.set_fail_stop_kill(true);
+    store = std::make_unique<ckpt::Store>(rt_);
+    gx.resize(np);
+    gy.resize(np);
+    gz.resize(np);
+    gvx.resize(np);
+    gvy.resize(np);
+    gvz.resize(np);
+    generate_initial(gx.data(), gy.data(), gz.data(), gvx.data(), gvy.data(),
+                     gvz.data(), 0, np);
+    store->registrar().add_host("picpvm.px", gx);
+    store->registrar().add_host("picpvm.py", gy);
+    store->registrar().add_host("picpvm.pz", gz);
+    store->registrar().add_host("picpvm.vx", gvx);
+    store->registrar().add_host("picpvm.vy", gvy);
+    store->registrar().add_host("picpvm.vz", gvz);
+  }
+
   root.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
     rt::Runtime& rt = vm.runtime();
-    const auto [pb, pe] = split(np, ntasks, static_cast<unsigned>(me));
-    const std::size_t my_np = pe - pb;
     const unsigned my_node = rt.topo().node_of_cpu(rt.cpu());
 
+    if (recover) vm.notify(-1);
+    pvm::Group g(vm);
+    int rank = me, live = ntasks, gen = 0;
+    std::size_t pb, pe;
+    std::tie(pb, pe) = split(np, static_cast<unsigned>(ntasks),
+                             static_cast<unsigned>(me));
+    std::size_t my_np = pe - pb;
+
     TaskState st;
-    st.px.resize(my_np);
-    st.py.resize(my_np);
-    st.pz.resize(my_np);
-    st.vx.resize(my_np);
-    st.vy.resize(my_np);
-    st.vz.resize(my_np);
     st.rho.assign(nc, 0.0);
     st.ex.assign(nc, 0.0);
     st.ey.assign(nc, 0.0);
     st.ez.assign(nc, 0.0);
     st.mesh_window = std::make_unique<rt::GlobalArray<double>>(
         rt, 4 * nc, arch::MemClass::kNearShared, "picpvm.mesh", my_node);
+    // Under recovery a survivor's slice grows after a shrink, so the charged
+    // particle window is sized for the whole population up front.
     st.part_window = std::make_unique<rt::GlobalArray<double>>(
-        rt, 6 * my_np, arch::MemClass::kNearShared, "picpvm.part", my_node);
+        rt, 6 * (recover ? np : my_np), arch::MemClass::kNearShared,
+        "picpvm.part", my_node);
+    auto resize_slice = [&](std::size_t n2) {
+      my_np = n2;
+      st.px.resize(n2);
+      st.py.resize(n2);
+      st.pz.resize(n2);
+      st.vx.resize(n2);
+      st.vy.resize(n2);
+      st.vz.resize(n2);
+    };
+    resize_slice(my_np);
 
-    // Deterministic global particle load, identical to PicShared: generate
-    // the full stream and keep our slice.
-    {
-      sim::Rng rng(cfg_.seed);
-      std::size_t p = 0;
-      for (std::size_t iz = 0; iz < nz; ++iz) {
-        for (std::size_t iy = 0; iy < ny; ++iy) {
-          for (std::size_t ix = 0; ix < nx; ++ix) {
-            for (unsigned k = 0; k < cfg_.plasma_per_cell + cfg_.beam_per_cell;
-                 ++k, ++p) {
-              const bool beam = k >= cfg_.plasma_per_cell;
-              const double x = static_cast<double>(ix) + rng.next_double();
-              const double y = static_cast<double>(iy) + rng.next_double();
-              const double z = static_cast<double>(iz) + rng.next_double();
-              double vxp, vyp, vzp;
-              if (beam) {
-                vxp = vyp = 0;
-                vzp = cfg_.beam_velocity * cfg_.vth;
-              } else {
-                vxp = rng.gaussian(0, cfg_.vth);
-                vyp = rng.gaussian(0, cfg_.vth);
-                vzp = rng.gaussian(0, cfg_.vth);
-              }
-              if (p >= pb && p < pe) {
-                const std::size_t q = p - pb;
-                st.px[q] = x;
-                st.py[q] = y;
-                st.pz[q] = z;
-                st.vx[q] = vxp;
-                st.vy[q] = vyp;
-                st.vz[q] = vzp;
-              }
-            }
-          }
-        }
-      }
-    }
+    generate_initial(st.px.data(), st.py.data(), st.pz.data(), st.vx.data(),
+                     st.vy.data(), st.vz.data(), pb, pe);
 
     auto cell_index = [&](std::size_t ix, std::size_t iy, std::size_t iz) {
       return (iz * ny + iy) * nx + ix;
     };
 
-    for (unsigned step = 0; step < cfg_.steps; ++step) {
+    unsigned step = 0;
+    bool finished = false;
+    while (!finished) {
+    try {
+    while (step < cfg_.steps) {
+      // ----- coordinated checkpoint: slices to rank 0, then capture --------
+      // Replays re-capture the epochs they pass through; the snapshot is
+      // overwritten with identical (post-shrink: equivalent) state, which
+      // keeps the replay's traffic pattern the same as the original run's.
+      if (recover && step % kk == 0) {
+        if (rank == 0) {
+          std::copy(st.px.begin(), st.px.end(), gx.begin() + pb);
+          std::copy(st.py.begin(), st.py.end(), gy.begin() + pb);
+          std::copy(st.pz.begin(), st.pz.end(), gz.begin() + pb);
+          std::copy(st.vx.begin(), st.vx.end(), gvx.begin() + pb);
+          std::copy(st.vy.begin(), st.vy.end(), gvy.begin() + pb);
+          std::copy(st.vz.begin(), st.vz.end(), gvz.begin() + pb);
+          st.part_window->touch_range(0, 6 * my_np, false);
+          for (int r = 1; r < live; ++r) {
+            pvm::Message m = vm.recv(-1, kTagCkpt + gen);
+            const auto rr = static_cast<unsigned>(g.rank_of(m.sender));
+            const auto [sb, se] =
+                split(np, static_cast<unsigned>(live), rr);
+            m.unpack(gx.data() + sb, se - sb);
+            m.unpack(gy.data() + sb, se - sb);
+            m.unpack(gz.data() + sb, se - sb);
+            m.unpack(gvx.data() + sb, se - sb);
+            m.unpack(gvy.data() + sb, se - sb);
+            m.unpack(gvz.data() + sb, se - sb);
+          }
+          store->capture(step);
+        } else {
+          pvm::Message m;
+          m.pack(st.px.data(), my_np);
+          m.pack(st.py.data(), my_np);
+          m.pack(st.pz.data(), my_np);
+          m.pack(st.vx.data(), my_np);
+          m.pack(st.vy.data(), my_np);
+          m.pack(st.vz.data(), my_np);
+          vm.send(g.tid_of(0), kTagCkpt + gen, std::move(m));
+        }
+      }
+
       // ----- deposit on the private mesh -----------------------------------
       std::fill(st.rho.begin(), st.rho.end(), 0.0);
       st.mesh_window->touch_range(0, nc, true);
@@ -151,9 +250,9 @@ PicResult PicPvm::run() {
       }
 
       // ----- combine on task 0, solve, broadcast E --------------------------
-      if (me == 0) {
-        for (int t = 1; t < ntasks; ++t) {
-          pvm::Message m = vm.recv(-1, kTagRho);
+      if (rank == 0) {
+        for (int t = 1; t < live; ++t) {
+          pvm::Message m = vm.recv(-1, kTagRho + gen);
           std::vector<double> other(nc);
           m.unpack(other.data(), nc);
           for (std::size_t c = 0; c < nc; ++c) st.rho[c] += other[c];
@@ -198,18 +297,18 @@ PicResult PicPvm::run() {
         rt.work_flops(kFieldFlopsPerCell * 0.5 * static_cast<double>(nc));
         st.mesh_window->touch_range(nc, 3 * nc, true);
 
-        for (int t = 1; t < ntasks; ++t) {
+        for (int t = 1; t < live; ++t) {
           pvm::Message m;
           m.pack(st.ex.data(), nc);
           m.pack(st.ey.data(), nc);
           m.pack(st.ez.data(), nc);
-          vm.send(t, kTagField, std::move(m));
+          vm.send(g.tid_of(t), kTagField + gen, std::move(m));
         }
       } else {
         pvm::Message m;
         m.pack(st.rho.data(), nc);
-        vm.send(0, kTagRho, std::move(m));
-        pvm::Message f = vm.recv(0, kTagField);
+        vm.send(g.tid_of(0), kTagRho + gen, std::move(m));
+        pvm::Message f = vm.recv(g.tid_of(0), kTagField + gen);
         f.unpack(st.ex.data(), nc);
         f.unpack(st.ey.data(), nc);
         f.unpack(st.ez.data(), nc);
@@ -274,10 +373,10 @@ PicResult PicPvm::run() {
                            st.vz[q] * st.vz[q]);
         local[1] += st.vz[q];
       }
-      if (me == 0) {
+      if (rank == 0) {
         double kin = local[0], mom = local[1];
-        for (int t = 1; t < ntasks; ++t) {
-          pvm::Message m = vm.recv(-1, kTagDiag);
+        for (int t = 1; t < live; ++t) {
+          pvm::Message m = vm.recv(-1, kTagDiag + gen);
           double other[2];
           m.unpack(other, 2);
           kin += other[0];
@@ -302,8 +401,82 @@ PicResult PicPvm::run() {
       } else {
         pvm::Message m;
         m.pack(local, 2);
-        vm.send(0, kTagDiag, std::move(m));
+        vm.send(g.tid_of(0), kTagDiag + gen, std::move(m));
       }
+      ++step;
+    }
+
+    // ----- completion handshake (recovery mode only) ------------------------
+    // Nobody exits until rank 0's final combine has landed, so a failure in
+    // the last step still finds every survivor alive to rejoin the replay.
+    if (recover) {
+      if (rank == 0) {
+        for (int r = 1; r < live; ++r) {
+          pvm::Message m;
+          const std::uint32_t ok = 1;
+          m.pack(&ok, 1);
+          vm.send(g.tid_of(r), kTagDone + gen, std::move(m));
+        }
+      } else {
+        (void)vm.recv(g.tid_of(0), kTagDone + gen);
+      }
+    }
+    finished = true;
+    } catch (const pvm::TaskFailedError&) {
+      if (!recover) throw;
+      // ULFM-style recovery: acknowledge, shrink, roll back, redistribute.
+      vm.ack_failures();
+      g.shrink();
+      gen = ntasks - g.size();
+      live = g.size();
+      rank = g.rank_of(me);
+      if (rank == 0) {
+        const std::int64_t epoch = store->latest();
+        // No snapshot yet: the mirror still holds the initial load and the
+        // run restarts from step 0.
+        if (epoch >= 0) store->restore(static_cast<std::uint64_t>(epoch));
+        const auto rs = static_cast<std::uint32_t>(epoch < 0 ? 0 : epoch);
+        for (int r = 1; r < live; ++r) {
+          const auto [sb, se] =
+              split(np, static_cast<unsigned>(live), static_cast<unsigned>(r));
+          pvm::Message m;
+          m.pack(&rs, 1);
+          m.pack(gx.data() + sb, se - sb);
+          m.pack(gy.data() + sb, se - sb);
+          m.pack(gz.data() + sb, se - sb);
+          m.pack(gvx.data() + sb, se - sb);
+          m.pack(gvy.data() + sb, se - sb);
+          m.pack(gvz.data() + sb, se - sb);
+          vm.send(g.tid_of(r), kTagResume + gen, std::move(m));
+        }
+        std::tie(pb, pe) = split(np, static_cast<unsigned>(live), 0u);
+        resize_slice(pe - pb);
+        std::copy(gx.begin() + pb, gx.begin() + pe, st.px.begin());
+        std::copy(gy.begin() + pb, gy.begin() + pe, st.py.begin());
+        std::copy(gz.begin() + pb, gz.begin() + pe, st.pz.begin());
+        std::copy(gvx.begin() + pb, gvx.begin() + pe, st.vx.begin());
+        std::copy(gvy.begin() + pb, gvy.begin() + pe, st.vy.begin());
+        std::copy(gvz.begin() + pb, gvz.begin() + pe, st.vz.begin());
+        st.part_window->touch_range(0, 6 * my_np, true);
+        field_history.resize(rs);  // the tail describes an abandoned timeline.
+        step = rs;
+      } else {
+        pvm::Message m = vm.recv(g.tid_of(0), kTagResume + gen);
+        std::uint32_t rs = 0;
+        m.unpack(&rs, 1);
+        std::tie(pb, pe) = split(np, static_cast<unsigned>(live),
+                                 static_cast<unsigned>(rank));
+        resize_slice(pe - pb);
+        m.unpack(st.px.data(), my_np);
+        m.unpack(st.py.data(), my_np);
+        m.unpack(st.pz.data(), my_np);
+        m.unpack(st.vx.data(), my_np);
+        m.unpack(st.vy.data(), my_np);
+        m.unpack(st.vz.data(), my_np);
+        st.part_window->touch_range(0, 6 * my_np, true);
+        step = rs;
+      }
+    }
     }
   });
 

@@ -15,6 +15,12 @@
 // Task-private data is charged as NearShared traffic homed on the task's own
 // hypernode (a PVM process's pages are node-local); message costs go through
 // spp::pvm.
+//
+// With PicConfig::ckpt_interval > 0 the run is survivable: tasks subscribe to
+// failure notification, ship their particle slices to rank 0 for a
+// coordinated spp::ckpt snapshot every K steps, and recover from a CPU
+// fail-stop by shrinking the group, rolling back to the last epoch, and
+// redistributing the surviving work (docs/RECOVERY.md).
 #pragma once
 
 #include <memory>

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "spp/ckpt/ckpt.h"
+
 namespace spp::ppm {
 
 namespace {
@@ -457,8 +459,30 @@ PpmResult PpmTiled::run() {
   rt_.machine().reset_stats();
   const sim::Time t0 = rt_.now();
 
+  // Migrate-and-restore recovery (docs/RECOVERY.md): the tile arrays carry
+  // all step-to-step state (ghost frames are refilled every step), so
+  // rolling every tile back to the last epoch after a fail-stop and
+  // replaying reproduces the fault-free run bit-exactly.  ckpt_interval == 0
+  // leaves this path untouched.
+  std::unique_ptr<ckpt::Store> store;
+  if (cfg_.ckpt_interval > 0) {
+    store = std::make_unique<ckpt::Store>(rt_);
+    for (std::size_t i = 0; i < tiles_.size(); ++i) {
+      store->registrar().add("ppm.tile" + std::to_string(i), *tiles_[i].u);
+    }
+  }
+  std::uint64_t seen_recoveries = rt_.machine().perf().cpu_recoveries;
+  unsigned next_step = 0;
+
   rt_.parallel(nprocs_, placement_, [&](unsigned proc, unsigned nprocs) {
-    for (unsigned step = 0; step < cfg_.steps; ++step) {
+    for (unsigned step = 0; step < cfg_.steps;) {
+      if (store) {
+        if (proc == 0 && step % cfg_.ckpt_interval == 0 &&
+            !store->has_epoch(step)) {
+          store->capture(step);
+        }
+        barrier_->wait();
+      }
       // Stable time step: local max wave speed, then a global reduction.
       double lmax = 1e-12;
       for (Tile& t : tiles_) {
@@ -491,6 +515,22 @@ PpmResult PpmTiled::run() {
         }
       }
       barrier_->wait();
+      if (store) {
+        if (proc == 0) {
+          const std::uint64_t rec = rt_.machine().perf().cpu_recoveries;
+          if (rec != seen_recoveries && store->latest() >= 0) {
+            store->restore(static_cast<std::uint64_t>(store->latest()));
+            next_step = static_cast<unsigned>(store->latest());
+          } else {
+            next_step = step + 1;
+          }
+          seen_recoveries = rec;
+        }
+        barrier_->wait();
+        step = next_step;
+      } else {
+        ++step;
+      }
     }
   });
 

@@ -43,6 +43,10 @@ struct PpmConfig {
   /// arbitrary number of different fluids"); 0 disables multifluid.
   /// Species are stored as partial densities, advected with the contact.
   unsigned nspecies = 0;
+  /// Checkpoint every tile's state every K steps (0 = off); after a CPU
+  /// fail-stop the run rolls back to the last epoch and replays, ending
+  /// bit-exact with the fault-free run (docs/RECOVERY.md).
+  unsigned ckpt_interval = 0;
 
   std::size_t zones() const { return nx * ny; }
   unsigned tiles() const { return tiles_x * tiles_y; }

@@ -59,6 +59,16 @@ struct PerfCounters {
   std::uint64_t cpu_recoveries = 0;    ///< thread migrations off failed CPUs.
   sim::Time recovery_ns = 0;           ///< simulated time spent recovering.
 
+  // --- checkpoint/restart and failure notification (spp::ckpt, pvm) --------
+  // All zero unless an application opts into recovery; see docs/RECOVERY.md.
+  std::uint64_t checkpoints_taken = 0;  ///< Store::capture calls.
+  std::uint64_t ckpt_bytes = 0;         ///< total bytes snapshotted.
+  std::uint64_t rollbacks = 0;          ///< Store::restore calls.
+  std::uint64_t tasks_failed = 0;       ///< PVM tasks killed by fail-stop.
+  std::uint64_t task_notifications = 0; ///< TaskFailed messages delivered.
+  sim::Time ckpt_ns = 0;                ///< simulated time spent capturing.
+  sim::Time rollback_ns = 0;            ///< simulated time spent restoring.
+
   // --- simulation-time verification (spp::check) ----------------------------
   // All zero unless a Checker is attached; see docs/CHECKER.md.
   std::uint64_t check_events = 0;      ///< transactions the oracle examined.

@@ -1,0 +1,107 @@
+#include "spp/ckpt/ckpt.h"
+
+#include <cstring>
+
+#include "spp/arch/vmem.h"
+#include "spp/rt/conductor.h"
+
+namespace spp::ckpt {
+
+void Registrar::push(Region r) {
+  for (const Region& existing : regions_) {
+    if (existing.name == r.name) {
+      throw Error("ckpt: region '" + r.name + "' registered twice");
+    }
+  }
+  regions_.push_back(std::move(r));
+}
+
+void Store::ensure_arena(std::uint64_t bytes) {
+  if (bytes <= arena_bytes_) return;
+  // The vmem allocator never frees, so growth abandons the old arena; in
+  // practice the region set is fixed after setup and this runs once.
+  arena_va_ = rt_->alloc(bytes, arch::MemClass::kFarShared, "ckpt.store");
+  arena_bytes_ = bytes;
+}
+
+void Store::capture(std::uint64_t epoch) {
+  const std::vector<Region>& regions = reg_.regions();
+  if (regions.empty()) {
+    throw Error("ckpt: capture with no registered regions");
+  }
+  rt::SThread& th = rt::Conductor::self();
+  const sim::Time t0 = th.clock();
+
+  std::uint64_t total = 0;
+  for (const Region& r : regions) total += r.locate().second;
+  ensure_arena(total);
+
+  // Stage the snapshot fully before committing it, so a fail-stop that
+  // unwinds this thread mid-capture leaves the store at the previous epoch
+  // instead of holding a torn snapshot.
+  Snapshot snap;
+  snap.names.reserve(regions.size());
+  snap.blobs.reserve(regions.size());
+  std::uint64_t off = 0;
+  for (const Region& r : regions) {
+    const auto [ptr, bytes] = r.locate();
+    // Stream the region out of the application's simulated memory and into
+    // the checkpoint arena; both halves are genuine charged traffic.
+    if (r.va != 0 && bytes != 0) rt_->read(r.va, bytes);
+    if (bytes != 0) rt_->write(arena_va_ + off, bytes);
+    off += bytes;
+    snap.names.push_back(r.name);
+    const auto* src = static_cast<const std::uint8_t*>(ptr);
+    snap.blobs.emplace_back(src, src + bytes);
+  }
+  snaps_[epoch] = std::move(snap);
+
+  arch::PerfCounters& perf = rt_->machine().perf();
+  ++perf.checkpoints_taken;
+  perf.ckpt_bytes += total;
+  perf.ckpt_ns += th.clock() - t0;
+}
+
+void Store::restore(std::uint64_t epoch) {
+  const auto it = snaps_.find(epoch);
+  if (it == snaps_.end()) {
+    throw Error("ckpt: no snapshot for epoch " + std::to_string(epoch));
+  }
+  const Snapshot& snap = it->second;
+  const std::vector<Region>& regions = reg_.regions();
+  if (regions.size() != snap.names.size()) {
+    throw Error("ckpt: region set changed since epoch " +
+                std::to_string(epoch) + " was captured");
+  }
+  rt::SThread& th = rt::Conductor::self();
+  const sim::Time t0 = th.clock();
+
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const Region& r = regions[i];
+    if (r.name != snap.names[i]) {
+      throw Error("ckpt: region '" + r.name + "' does not match '" +
+                  snap.names[i] + "' in epoch " + std::to_string(epoch));
+    }
+    const auto [ptr, bytes] = r.locate();
+    const std::vector<std::uint8_t>& blob = snap.blobs[i];
+    if (bytes != blob.size()) {
+      throw Error("ckpt: region '" + r.name + "' is " +
+                  std::to_string(bytes) + " bytes but epoch " +
+                  std::to_string(epoch) + " holds " +
+                  std::to_string(blob.size()));
+    }
+    if (bytes != 0) rt_->read(arena_va_ + off, bytes);
+    if (r.va != 0 && bytes != 0) rt_->write(r.va, bytes);
+    off += bytes;
+    std::memcpy(ptr, blob.data(), bytes);
+  }
+  // Later epochs describe the abandoned timeline; replay recreates them.
+  snaps_.erase(snaps_.upper_bound(epoch), snaps_.end());
+
+  arch::PerfCounters& perf = rt_->machine().perf();
+  ++perf.rollbacks;
+  perf.rollback_ns += th.clock() - t0;
+}
+
+}  // namespace spp::ckpt

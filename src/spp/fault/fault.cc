@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <utility>
 
 namespace spp::fault {
 
@@ -102,6 +104,72 @@ void FaultPlan::validate(const arch::Topology& topo) const {
         }
         break;
       }
+    }
+  }
+
+  // Cross-event rules: walk each resource's state along the schedule the
+  // injector will actually apply (stable-sorted by time, matching the
+  // injector's construction) and reject contradictory or ambiguous plans --
+  // duplicate fail-stops, down-on-down / up-on-up links, and two events
+  // touching the same resource at the same instant, whose relative order
+  // the schedule cannot express.
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return events[a].at < events[b].at;
+  });
+  std::map<std::pair<unsigned, unsigned>, bool> link_down;
+  std::map<std::pair<unsigned, unsigned>, sim::Time> link_last_at;
+  std::map<unsigned, bool> cpu_down;
+  sim::Time pvm_last_at = 0;
+  bool pvm_seen = false;
+  for (const std::size_t i : order) {
+    const FaultEvent& e = events[i];
+    auto bad = [&](const std::string& what) {
+      throw ConfigError("fault plan event " + std::to_string(i) + ": " + what);
+    };
+    switch (e.kind) {
+      case FaultEvent::Kind::kLinkDown:
+      case FaultEvent::Kind::kLinkUp:
+      case FaultEvent::Kind::kLinkDegrade: {
+        const std::pair<unsigned, unsigned> link{e.ring, e.node};
+        const std::string link_name = "link (ring " + std::to_string(e.ring) +
+                                      ", node " + std::to_string(e.node) + ")";
+        if (const auto it = link_last_at.find(link);
+            it != link_last_at.end() && it->second == e.at) {
+          bad("second event on " + link_name + " at t=" +
+              std::to_string(e.at) + " ns; same-resource events need "
+              "distinct times to have a defined order");
+        }
+        link_last_at[link] = e.at;
+        bool& down = link_down[link];
+        if (e.kind == FaultEvent::Kind::kLinkDown) {
+          if (down) bad(link_name + " is already down");
+          down = true;
+        } else if (e.kind == FaultEvent::Kind::kLinkUp) {
+          if (!down) bad(link_name + " is already up");
+          down = false;
+        }
+        break;
+      }
+      case FaultEvent::Kind::kCpuFail: {
+        bool& down = cpu_down[e.cpu];
+        if (down) {
+          bad("cpu " + std::to_string(e.cpu) +
+              " fail-stops twice; fail-stop is permanent");
+        }
+        down = true;
+        break;
+      }
+      case FaultEvent::Kind::kPvmLoss:
+        if (pvm_seen && pvm_last_at == e.at) {
+          bad("second pvm_loss regime change at t=" + std::to_string(e.at) +
+              " ns; regime changes need distinct times to have a defined "
+              "order");
+        }
+        pvm_seen = true;
+        pvm_last_at = e.at;
+        break;
     }
   }
 }

@@ -107,6 +107,27 @@ void Profiler::fault_report(std::FILE* out) const {
                sim::to_seconds(p.recovery_ns) * 1e3);
 }
 
+void Profiler::recovery_report(std::FILE* out) const {
+  const arch::PerfCounters& p = rt_->machine().perf();
+  if (p.checkpoints_taken == 0 && p.rollbacks == 0 && p.tasks_failed == 0) {
+    std::fprintf(out, "recovery: no checkpoints or failures\n");
+    return;
+  }
+  auto row = [out](const char* name, unsigned long long v) {
+    std::fprintf(out, "%-24s %12llu\n", name, v);
+  };
+  std::fprintf(out, "%-24s %12s\n", "checkpoint/recovery", "count");
+  row("checkpoints_taken", p.checkpoints_taken);
+  row("ckpt_bytes", p.ckpt_bytes);
+  row("rollbacks", p.rollbacks);
+  row("tasks_failed", p.tasks_failed);
+  row("task_notifications", p.task_notifications);
+  std::fprintf(out, "%-24s %12.3f\n", "ckpt_ms",
+               sim::to_seconds(p.ckpt_ns) * 1e3);
+  std::fprintf(out, "%-24s %12.3f\n", "rollback_ms",
+               sim::to_seconds(p.rollback_ns) * 1e3);
+}
+
 void Profiler::check_report(std::FILE* out) const {
   const arch::PerfCounters& p = rt_->machine().perf();
   if (p.check_events == 0 && p.deadlock_reports == 0) {

@@ -82,6 +82,11 @@ class Profiler {
   /// Prints a single "no checker" line when nothing was attached.
   void check_report(std::FILE* out = stdout) const;
 
+  /// Prints the checkpoint/restart and failure-notification counters
+  /// (docs/RECOVERY.md).  Prints a single "no recovery" line when the run
+  /// neither checkpointed nor lost a task.
+  void recovery_report(std::FILE* out = stdout) const;
+
  private:
   struct OpenPhase {
     sim::Time t0 = 0;

@@ -1,0 +1,299 @@
+// spp::ckpt checkpoint/restart tests (docs/RECOVERY.md):
+//   * Store capture/restore round-trips GlobalArray, POD, and host-mirror
+//     regions and charges the copy through the checkpoint counters;
+//   * the Registrar rejects malformed region sets with clear errors;
+//   * restore discards later epochs (the abandoned timeline);
+//   * a constructed-but-unused Store is bit-free: zero cost, zero counters;
+//   * the apps recover from a mid-run CPU fail-stop to the fault-free
+//     answer -- bit-exact for the shared-memory codes, within a stated
+//     tolerance for the PVM codes (the shrunk group re-associates its
+//     combines).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "spp/apps/fem/femgas.h"
+#include "spp/apps/nbody/nbody_pvm.h"
+#include "spp/apps/pic/pic_pvm.h"
+#include "spp/arch/topology.h"
+#include "spp/ckpt/ckpt.h"
+#include "spp/fault/fault.h"
+#include "spp/rt/garray.h"
+#include "spp/rt/runtime.h"
+
+namespace spp::ckpt {
+namespace {
+
+using arch::Topology;
+
+// ---------------------------------------------------------------------------
+// Store mechanics
+// ---------------------------------------------------------------------------
+
+TEST(Ckpt, CaptureRestoreRoundTripsEveryRegionKind) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  rt::GlobalArray<double> a(runtime, 64, arch::MemClass::kFarShared, "ck.a");
+  struct Control {
+    std::uint32_t step = 0;
+    double dt = 0;
+  } ctl;
+  std::vector<float> mirror(16);
+
+  Store store(runtime);
+  store.registrar().add("a", a);
+  store.registrar().add_pod("ctl", ctl);
+  store.registrar().add_host("mirror", mirror);
+
+  runtime.run([&] {
+    for (std::size_t i = 0; i < a.size(); ++i) a.raw(i) = 1.5 * static_cast<double>(i);
+    ctl = {7, 0.25};
+    for (std::size_t i = 0; i < mirror.size(); ++i) {
+      mirror[i] = static_cast<float>(i);
+    }
+    store.capture(3);
+
+    for (std::size_t i = 0; i < a.size(); ++i) a.raw(i) = -1.0;
+    ctl = {99, -4.0};
+    for (float& v : mirror) v = -2.0f;
+    store.restore(3);
+  });
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.raw(i), 1.5 * static_cast<double>(i)) << "element " << i;
+  }
+  EXPECT_EQ(ctl.step, 7u);
+  EXPECT_EQ(ctl.dt, 0.25);
+  for (std::size_t i = 0; i < mirror.size(); ++i) {
+    ASSERT_EQ(mirror[i], static_cast<float>(i));
+  }
+
+  const arch::PerfCounters& p = runtime.machine().perf();
+  const std::uint64_t bytes =
+      64 * sizeof(double) + sizeof(Control) + 16 * sizeof(float);
+  EXPECT_EQ(p.checkpoints_taken, 1u);
+  EXPECT_EQ(p.ckpt_bytes, bytes);
+  EXPECT_EQ(p.rollbacks, 1u);
+  EXPECT_GT(p.ckpt_ns, 0u) << "the snapshot copy must cost simulated time";
+  EXPECT_GT(p.rollback_ns, 0u);
+  EXPECT_TRUE(store.has_epoch(3));
+  EXPECT_EQ(store.latest(), 3);
+}
+
+TEST(Ckpt, CaptureOverwritesSameEpochAndRestoreDiscardsLaterOnes) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  std::vector<double> state(8, 0.0);
+  Store store(runtime);
+  store.registrar().add_host("state", state);
+
+  runtime.run([&] {
+    state[0] = 10.0;
+    store.capture(0);
+    state[0] = 11.0;
+    store.capture(1);
+    state[0] = 12.0;
+    store.capture(2);
+    EXPECT_EQ(store.snapshots(), 3u);
+    EXPECT_EQ(store.latest(), 2);
+
+    // Replays re-capture epochs they pass through: same tag overwrites.
+    state[0] = 110.0;
+    store.capture(1);
+    EXPECT_EQ(store.snapshots(), 3u);
+
+    // Rolling back to 0 abandons the timeline that produced 1 and 2.
+    store.restore(0);
+    EXPECT_EQ(state[0], 10.0);
+    EXPECT_EQ(store.snapshots(), 1u);
+    EXPECT_EQ(store.latest(), 0);
+    EXPECT_FALSE(store.has_epoch(1));
+    EXPECT_FALSE(store.has_epoch(2));
+  });
+}
+
+TEST(Ckpt, RegistrarAndStoreRejectProtocolViolations) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  rt::GlobalArray<double> shared(runtime, 8, arch::MemClass::kFarShared,
+                                 "ck.shared");
+  rt::GlobalArray<double> priv(runtime, 8, arch::MemClass::kThreadPrivate,
+                               "ck.priv");
+  Store store(runtime);
+
+  // Private-class arrays keep one copy per CPU; one snapshot would lose the
+  // rest, so registration is refused outright.
+  EXPECT_THROW(store.registrar().add("p", priv), Error);
+  // Ranges must stay inside the array.
+  EXPECT_THROW(store.registrar().add("s", shared, 4, 8), Error);
+  // Names are unique.
+  store.registrar().add("s", shared);
+  EXPECT_THROW(store.registrar().add("s", shared, 0, 4), Error);
+
+  std::vector<double> mirror(4, 1.0);
+  store.registrar().add_host("m", mirror);
+  runtime.run([&] {
+    EXPECT_THROW(store.restore(0), Error) << "no epoch 0 was ever captured";
+    store.capture(0);
+    // A host mirror that changed size between capture and restore is a
+    // protocol violation, not a silent partial copy.
+    mirror.resize(6, 0.0);
+    EXPECT_THROW(store.restore(0), Error);
+    mirror.resize(4);
+    EXPECT_NO_THROW(store.restore(0));
+  });
+
+  Store empty(runtime);
+  runtime.run([&] {
+    EXPECT_THROW(empty.capture(0), Error) << "no regions registered";
+  });
+}
+
+TEST(Ckpt, UnusedStoreIsBitFree) {
+  // Zero-cost-when-detached: constructing a Store (and even registering
+  // regions) charges nothing until capture() runs.
+  const auto timed_run = [](bool with_store) {
+    rt::Runtime runtime(Topology{.nodes = 1});
+    rt::GlobalArray<double> a(runtime, 256, arch::MemClass::kFarShared,
+                              "ck.work");
+    Store store(runtime);
+    if (with_store) store.registrar().add("a", a);
+    runtime.run([&] {
+      runtime.parallel(4, rt::Placement::kUniform,
+                       [&](unsigned i, unsigned n) {
+                         const std::size_t chunk = a.size() / n;
+                         for (std::size_t k = i * chunk; k < (i + 1) * chunk;
+                              ++k) {
+                           a.write(k, 2.0 * static_cast<double>(k));
+                         }
+                         runtime.work_flops(1000);
+                       });
+    });
+    const arch::PerfCounters& p = runtime.machine().perf();
+    EXPECT_EQ(p.checkpoints_taken, 0u);
+    EXPECT_EQ(p.ckpt_bytes, 0u);
+    EXPECT_EQ(p.rollbacks, 0u);
+    return runtime.elapsed();
+  };
+  EXPECT_EQ(timed_run(false), timed_run(true));
+}
+
+// ---------------------------------------------------------------------------
+// App-level recovery: roll back, replay, match the fault-free answer
+// ---------------------------------------------------------------------------
+
+struct AppRun {
+  std::vector<double> digest;
+  sim::Time elapsed = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t tasks_failed = 0;
+  std::uint64_t cpu_recoveries = 0;
+};
+
+template <typename RunApp>
+AppRun run_app(RunApp&& body, unsigned ckpt_every, sim::Time fail_at,
+               unsigned victim_cpu) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  fault::FaultPlan plan;
+  if (fail_at != 0) plan.cpu_fail(fail_at, victim_cpu);
+  fault::FaultInjector inj(std::move(plan));
+  inj.attach(runtime);
+  AppRun out;
+  runtime.run([&] { out.digest = body(runtime, ckpt_every); });
+  const arch::PerfCounters& p = runtime.machine().perf();
+  out.elapsed = runtime.elapsed();
+  out.checkpoints = p.checkpoints_taken;
+  out.rollbacks = p.rollbacks;
+  out.tasks_failed = p.tasks_failed;
+  out.cpu_recoveries = p.cpu_recoveries;
+  return out;
+}
+
+template <typename RunApp>
+void expect_recovers(RunApp&& body, double tol, bool pvm_style) {
+  const AppRun base = run_app(body, 0, 0, 0);
+  ASSERT_GT(base.elapsed, 0u);
+  EXPECT_EQ(base.checkpoints, 0u) << "ckpt off must take no snapshots";
+
+  rt::Runtime probe(Topology{.nodes = 1});
+  const unsigned victim = probe.place_cpu(2, 4, rt::Placement::kUniform);
+  const AppRun faulted =
+      run_app(body, /*ckpt_every=*/2, base.elapsed / 2, victim);
+
+  EXPECT_GE(faulted.checkpoints, 1u);
+  EXPECT_GE(faulted.rollbacks, 1u);
+  if (pvm_style) {
+    EXPECT_EQ(faulted.tasks_failed, 1u) << "PVM recovery kills the victim";
+    EXPECT_EQ(faulted.cpu_recoveries, 0u);
+  } else {
+    EXPECT_EQ(faulted.tasks_failed, 0u);
+    EXPECT_GE(faulted.cpu_recoveries, 1u)
+        << "shared-memory recovery migrates the victim's thread";
+  }
+  ASSERT_EQ(faulted.digest.size(), base.digest.size());
+  for (std::size_t i = 0; i < base.digest.size(); ++i) {
+    const double want = base.digest[i];
+    const double got = faulted.digest[i];
+    if (tol == 0.0) {
+      EXPECT_EQ(got, want) << "diagnostic " << i << " must be bit-exact";
+    } else {
+      EXPECT_LE(std::fabs(got - want),
+                tol * std::max(1.0, std::fabs(want)))
+          << "diagnostic " << i;
+    }
+  }
+}
+
+TEST(CkptRecovery, FemGasRecoversBitExact) {
+  expect_recovers(
+      [](rt::Runtime& rt, unsigned k) {
+        fem::FemConfig cfg;
+        cfg.nx = 16;
+        cfg.ny = 8;
+        cfg.steps = 6;
+        cfg.ckpt_interval = k;
+        fem::FemGas app(rt, cfg, 4, rt::Placement::kUniform);
+        app.init_blast(2.0, 3.0);
+        const fem::FemResult r = app.run();
+        return std::vector<double>{r.final.total_mass, r.final.total_mom_x,
+                                   r.final.total_mom_y, r.final.total_energy,
+                                   r.final.min_density, r.final.min_pressure};
+      },
+      /*tol=*/0.0, /*pvm_style=*/false);
+}
+
+TEST(CkptRecovery, PicPvmRecoversWithinTolerance) {
+  // The shrunk group redoes the charge-mesh combine with one fewer rank, so
+  // the floating-point sums associate differently: small relative tolerance.
+  expect_recovers(
+      [](rt::Runtime& rt, unsigned k) {
+        pic::PicConfig cfg;
+        cfg.nx = cfg.ny = cfg.nz = 8;
+        cfg.steps = 4;
+        cfg.ckpt_interval = k;
+        pic::PicPvm app(rt, cfg, 4, rt::Placement::kUniform);
+        const pic::PicResult r = app.run();
+        return std::vector<double>{r.final.kinetic_energy,
+                                   r.final.field_energy, r.final.total_charge,
+                                   r.final.momentum_z};
+      },
+      /*tol=*/1e-6, /*pvm_style=*/true);
+}
+
+TEST(CkptRecovery, NbodyPvmRecoversWithinTolerance) {
+  expect_recovers(
+      [](rt::Runtime& rt, unsigned k) {
+        nbody::NbodyConfig cfg;
+        cfg.n = 128;
+        cfg.steps = 3;
+        cfg.ckpt_interval = k;
+        nbody::NbodyPvm app(rt, cfg, 4, rt::Placement::kUniform);
+        const nbody::NbodyResult r = app.run();
+        return std::vector<double>{r.final.kinetic, r.final.px, r.final.py,
+                                   r.final.pz};
+      },
+      /*tol=*/1e-9, /*pvm_style=*/true);
+}
+
+}  // namespace
+}  // namespace spp::ckpt

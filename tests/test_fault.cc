@@ -11,6 +11,8 @@
 //     simulated time and counters exactly as an un-instrumented run.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -79,6 +81,47 @@ TEST(FaultPlan, ValidateRejectsOutOfRangeEvents) {
                ConfigError);
   EXPECT_THROW(FaultPlan{}.pvm_loss(0, 0.5, 0.4, 0.2, 0).validate(topo),
                ConfigError);
+}
+
+TEST(FaultPlan, ValidateRejectsContradictoryEventSequences) {
+  const Topology topo{.nodes = 2};
+  // Fail-stop is permanent: a second fail of the same CPU is contradictory.
+  EXPECT_THROW(FaultPlan{}.cpu_fail(100, 3).cpu_fail(200, 3).validate(topo),
+               ConfigError);
+  EXPECT_NO_THROW(
+      FaultPlan{}.cpu_fail(100, 3).cpu_fail(200, 4).validate(topo));
+  // Link state must walk down/up alternately from the initial up state.
+  EXPECT_THROW(
+      FaultPlan{}.link_down(0, 1, 0).link_down(50, 1, 0).validate(topo),
+      ConfigError);
+  EXPECT_THROW(FaultPlan{}.link_up(0, 1, 0).validate(topo), ConfigError);
+  EXPECT_NO_THROW(FaultPlan{}
+                      .link_down(0, 1, 0)
+                      .link_up(10, 1, 0)
+                      .link_down(20, 1, 0)
+                      .validate(topo));
+  // Same-resource events at the same instant have no defined order; the
+  // message must say so.
+  try {
+    FaultPlan{}.link_down(5, 1, 0).link_up(5, 1, 0).validate(topo);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::strstr(e.what(), "distinct times"), nullptr) << e.what();
+  }
+  // Order of construction does not matter, only the schedule.
+  EXPECT_THROW(
+      FaultPlan{}.link_up(5, 1, 0).link_down(5, 1, 0).validate(topo),
+      ConfigError);
+  // Two pvm-loss regime changes at one instant are equally ambiguous.
+  EXPECT_THROW(FaultPlan{}
+                   .pvm_loss(5, 0.1, 0, 0, 0)
+                   .pvm_loss(5, 0, 0, 0, 0)
+                   .validate(topo),
+               ConfigError);
+  EXPECT_NO_THROW(FaultPlan{}
+                      .pvm_loss(5, 0.1, 0, 0, 0)
+                      .pvm_loss(6, 0, 0, 0, 0)
+                      .validate(topo));
 }
 
 TEST(FaultPlan, AttachValidatesAndRefusesDoubleAttach) {
@@ -347,6 +390,59 @@ TEST(FaultPvm, RecvTimeoutDeliversWhenMessageArrivesInTime) {
   EXPECT_DOUBLE_EQ(got, 2.5);
 }
 
+TEST(FaultPvm, RecvTimeoutZeroDeliversAlreadyVisibleMessage) {
+  // timeout 0 is a poll, not an error: a message already in the mailbox is
+  // delivered, never timed out.  Task 1 stages tag 7 well before task 0
+  // looks for it (the tag-8 rendezvous orders the two).
+  rt::Runtime runtime(Topology{.nodes = 1});
+  double got = 0;
+  runtime.run([&] {
+    pvm::Pvm root(runtime);
+    root.spawn(2, rt::Placement::kHighLocality,
+               [&](pvm::Pvm& vm, int me, int) {
+                 if (me == 1) {
+                   pvm::Message early;
+                   const double x = 3.75;
+                   early.pack(&x, 1);
+                   vm.send(0, 7, std::move(early));
+                   runtime.delay(100000);
+                   pvm::Message gate;
+                   gate.pack(&x, 1);
+                   vm.send(0, 8, std::move(gate));
+                 } else {
+                   vm.recv(1, 8);  // after this, tag 7 is long since visible.
+                   pvm::Message m = vm.recv_timeout(1, 7, 0);
+                   m.unpack(&got, 1);
+                 }
+               });
+  });
+  EXPECT_DOUBLE_EQ(got, 3.75);
+}
+
+TEST(FaultPvm, RecvTimeoutZeroPollsOnceThenThrows) {
+  // With an empty mailbox, timeout 0 gives up immediately and charges no
+  // waiting time of its own.
+  rt::Runtime runtime(Topology{.nodes = 1});
+  bool threw = false;
+  sim::Time waited = 0;
+  runtime.run([&] {
+    pvm::Pvm root(runtime);
+    root.spawn(2, rt::Placement::kHighLocality,
+               [&](pvm::Pvm& vm, int me, int) {
+                 if (me != 0) return;  // task 1 never sends.
+                 const sim::Time t0 = runtime.now();
+                 try {
+                   vm.recv_timeout(1, 7, 0);
+                 } catch (const TimeoutError&) {
+                   threw = true;
+                 }
+                 waited = runtime.now() - t0;
+               });
+  });
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(waited, 0u) << "a pure poll must not advance the poller's clock";
+}
+
 TEST(FaultPvm, UncaughtTimeoutPropagatesOutOfRun) {
   // A plan the transport cannot beat (100% drop): send exhausts all
   // retransmissions and throws inside a simulated thread.  The conductor
@@ -439,6 +535,184 @@ TEST(FaultCpu, ZeroFaultPlanLeavesNbodyBitIdentical) {
   EXPECT_EQ(bare.elapsed, empty.elapsed);
   EXPECT_EQ(bare.interactions, empty.interactions);
   EXPECT_EQ(empty.recoveries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ULFM-style fail-stop kill + notification (docs/RECOVERY.md)
+// ---------------------------------------------------------------------------
+
+TEST(FaultPvm, FailStopKillNotifiesSurvivorsAndGroupShrinks) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  // Task 2's CPU under the same uniform placement spawn() uses.
+  const unsigned victim_cpu =
+      runtime.place_cpu(2, 4, rt::Placement::kUniform);
+  FaultPlan plan;
+  plan.cpu_fail(2000000, victim_cpu);
+  FaultInjector inj(plan);
+  inj.attach(runtime);
+
+  bool victim_completed = false;
+  std::array<std::vector<int>, 4> acked;
+  std::array<int, 4> final_size{};
+  runtime.run([&] {
+    pvm::Pvm root(runtime);
+    root.set_fail_stop_kill(true);
+    root.spawn(4, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
+      vm.notify(-1);
+      pvm::Group g(vm);
+      if (me == 2) {
+        // The victim burns charged compute until the fail-stop unwinds it
+        // mid-loop; everything after the loop must never run.
+        for (int i = 0; i < 20000; ++i) runtime.work_flops(1000);
+        victim_completed = true;
+        return;
+      }
+      // Survivors exchange rounds (with an ack for flow control) until the
+      // failure notification breaks them out of the loop.
+      try {
+        for (;;) {
+          if (g.rank_of(me) == 0) {
+            for (int r = 1; r < g.size(); ++r) vm.recv(-1, 5);
+            const double ok = 1.0;
+            for (int r = 1; r < g.size(); ++r) {
+              pvm::Message m;
+              m.pack(&ok, 1);
+              vm.send(g.tid_of(r), 6, std::move(m));
+            }
+          } else {
+            pvm::Message m;
+            const double x = static_cast<double>(me);
+            m.pack(&x, 1);
+            vm.send(g.tid_of(0), 5, std::move(m));
+            vm.recv(g.tid_of(0), 6);
+          }
+        }
+      } catch (const pvm::TaskFailedError&) {
+        acked[me] = vm.ack_failures();
+        g.shrink();
+      }
+      final_size[me] = g.size();
+    });
+  });
+
+  EXPECT_FALSE(victim_completed) << "kill mode must unwind the victim";
+  const std::vector<int> expect_dead{2};
+  for (const int me : {0, 1, 3}) {
+    EXPECT_EQ(acked[me], expect_dead) << "survivor " << me;
+    EXPECT_EQ(final_size[me], 3) << "survivor " << me;
+  }
+  EXPECT_TRUE(acked[2].empty());
+  const arch::PerfCounters& p = runtime.machine().perf();
+  EXPECT_EQ(p.tasks_failed, 1u);
+  EXPECT_EQ(p.task_notifications, 3u) << "one TaskFailed per live subscriber";
+  EXPECT_EQ(p.cpu_recoveries, 0u) << "kill mode must not migrate the victim";
+}
+
+// ---------------------------------------------------------------------------
+// Whole-machine determinism under faults + checkpointing
+// ---------------------------------------------------------------------------
+
+/// Order-sensitive FNV-1a digest of every performance counter the machine
+/// keeps (per-CPU families, globals, fault/ckpt/check families) plus the
+/// final simulated time.
+std::uint64_t perf_digest(rt::Runtime& runtime) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const arch::PerfCounters& p = runtime.machine().perf();
+  for (const arch::CpuCounters& c : p.cpu) {
+    mix(c.loads);
+    mix(c.stores);
+    mix(c.l1_hits);
+    mix(c.upgrades);
+    mix(c.miss_fu_local);
+    mix(c.miss_node);
+    mix(c.miss_gcache);
+    mix(c.miss_remote);
+    mix(c.writebacks);
+    mix(c.uncached_ops);
+    mix(c.atomic_ops);
+    mix(c.invals_received);
+    mix(c.mem_stall);
+    mix(c.compute);
+  }
+  mix(p.ring_packets);
+  mix(p.sci_purges);
+  mix(p.sci_purge_targets);
+  mix(p.invals_sent);
+  mix(p.gcache_evictions);
+  mix(p.l1_evictions);
+  mix(p.faults_injected);
+  mix(p.pvm_msgs_dropped);
+  mix(p.pvm_msgs_duplicated);
+  mix(p.pvm_msgs_delayed);
+  mix(p.pvm_retries);
+  mix(p.pvm_retransmitted_bytes);
+  mix(p.ring_reroutes);
+  mix(p.ring_reroute_hops);
+  mix(p.cpu_recoveries);
+  mix(p.recovery_ns);
+  mix(p.checkpoints_taken);
+  mix(p.ckpt_bytes);
+  mix(p.rollbacks);
+  mix(p.tasks_failed);
+  mix(p.task_notifications);
+  mix(p.ckpt_ns);
+  mix(p.rollback_ns);
+  mix(p.check_events);
+  mix(p.check_violations);
+  mix(p.races_detected);
+  mix(p.deadlock_cycles);
+  mix(p.deadlock_reports);
+  mix(runtime.elapsed());
+  return h;
+}
+
+struct DigestStats {
+  std::uint64_t digest = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t rollbacks = 0;
+  sim::Time elapsed = 0;
+};
+
+DigestStats nbody_digest(const FaultPlan& plan, unsigned ckpt_every) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  FaultInjector inj(plan);
+  inj.attach(runtime);
+  nbody::NbodyConfig cfg;
+  cfg.n = 512;
+  cfg.steps = 3;
+  cfg.ckpt_interval = ckpt_every;
+  nbody::NbodyShared nb(runtime, cfg, 8, rt::Placement::kHighLocality);
+  runtime.run([&] { nb.run(); });
+  const arch::PerfCounters& p = runtime.machine().perf();
+  return {perf_digest(runtime), p.checkpoints_taken, p.rollbacks,
+          runtime.elapsed()};
+}
+
+TEST(FaultCkpt, FaultedCheckpointedRunsDigestIdentically) {
+  // Same seed, same plan, same workload: the complete counter state of the
+  // machine -- every per-CPU family plus the fault, checkpoint, and checker
+  // families -- and the final simulated time must be bit-identical.  This is
+  // the regression net for the recovery path staying deterministic.
+  const DigestStats healthy = nbody_digest(FaultPlan{}, /*ckpt_every=*/2);
+  ASSERT_GT(healthy.elapsed, 0u);
+  ASSERT_GE(healthy.checkpoints, 1u);
+
+  FaultPlan plan;
+  plan.seed = 20260805;
+  plan.cpu_fail(healthy.elapsed / 2, 3);
+  const DigestStats a = nbody_digest(plan, 2);
+  const DigestStats b = nbody_digest(plan, 2);
+  EXPECT_GE(a.rollbacks, 1u) << "the fault must actually trigger a rollback";
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_NE(a.digest, healthy.digest)
+      << "the faulted run must not accidentally be the healthy run";
 }
 
 }  // namespace

@@ -6,15 +6,22 @@
 //   sppsim-explore message  [--nodes N] [--bytes B]
 //   sppsim-explore chaos    [--nodes N] [--bytes B] [--rounds R]
 //   sppsim-explore check    [--nodes N] [--threads T]
+//   sppsim-explore survive  [--nodes N] [--threads T]
 //   sppsim-explore map      [--nodes N]
 //
 // Any runtime-backed command accepts --fault-plan FILE (docs/FAULTS.md) to
 // run under injected faults; `chaos` uses a built-in lossy plan when no file
-// is given and prints the fault/recovery counters afterwards.
+// is given, verifies every payload round-trips intact under full checking,
+// and prints the fault/recovery counters afterwards.  `survive` kills a CPU
+// mid-run in all four applications with checkpointing enabled and verifies
+// each one recovers to the fault-free answer (docs/RECOVERY.md).  Both exit
+// nonzero on divergence or an oracle firing.
 //
 // A release-style CLI for quick what-if questions ("what does the remote
 // miss cost on an 8-node machine with 256 KB caches?") without writing a
 // program against the library.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,7 +31,9 @@
 
 #include "spp/apps/fem/femgas.h"
 #include "spp/apps/nbody/nbody.h"
+#include "spp/apps/nbody/nbody_pvm.h"
 #include "spp/apps/pic/pic.h"
+#include "spp/apps/pic/pic_pvm.h"
 #include "spp/apps/ppm/ppm.h"
 #include "spp/arch/machine.h"
 #include "spp/check/check.h"
@@ -194,21 +203,38 @@ int cmd_chaos(const Args& a) {
   }
   fault::FaultInjector inj(plan);
   inj.attach(runtime);
+  check::Checker checker(runtime);
 
+  // Every payload word is round-trip verified: a lossy/duplicating fabric
+  // must still deliver each message exactly once and bit-intact.
+  std::uint64_t corrupt = 0;
   runtime.run([&] {
     pvm::Pvm root(runtime);
     root.spawn(2, rt::Placement::kUniform, [&](pvm::Pvm& vm, int me, int) {
-      std::vector<double> buf(a.bytes / 8 + 1, 1.0);
+      const std::size_t words = a.bytes / 8 + 1;
       for (unsigned r = 0; r < a.rounds; ++r) {
+        const double fill = 1.0 + static_cast<double>(r);
         if (me == 0) {
+          std::vector<double> buf(words, fill);
           pvm::Message m;
           m.pack(buf.data(), buf.size());
           vm.send(1, 1, std::move(m));
-          vm.recv(1, 2);
+          pvm::Message back = vm.recv(1, 2);
+          std::vector<double> echo(words, 0.0);
+          back.unpack(echo.data(), echo.size());
+          for (const double v : echo) {
+            if (v != fill) ++corrupt;
+          }
         } else {
           pvm::Message m = vm.recv(0, 1);
-          m.tag = 2;
-          vm.send(0, 2, std::move(m));
+          std::vector<double> got(words, 0.0);
+          m.unpack(got.data(), got.size());
+          for (const double v : got) {
+            if (v != fill) ++corrupt;
+          }
+          pvm::Message reply;
+          reply.pack(got.data(), got.size());
+          vm.send(0, 2, std::move(reply));
         }
       }
     });
@@ -218,6 +244,166 @@ int cmd_chaos(const Args& a) {
     prof::Profiler prof(runtime, 2);
     prof.fault_report();
   });
+  if (corrupt != 0) {
+    std::printf("chaos: %llu corrupted payload word(s)\n",
+                static_cast<unsigned long long>(corrupt));
+  }
+  if (!checker.clean()) checker.report(stdout);
+  return (corrupt == 0 && checker.clean()) ? 0 : 1;
+}
+
+/// Kills a CPU mid-run in every application with checkpointing enabled and
+/// verifies each recovers to the fault-free answer: bit-exact for the
+/// shared-memory apps (migrate-and-restore replay), small tolerance for the
+/// PVM apps (shrink + rollback changes the reduction order).  Exits nonzero
+/// on divergence, a missing recovery, or any oracle firing.
+int cmd_survive(const Args& a) {
+  unsigned failures = 0;
+  std::printf("survivable-run sweep: %u hypernode(s), %u threads, "
+              "one mid-run CPU fail-stop per app\n\n", a.nodes, a.threads);
+
+  const auto close = [](double got, double want, double tol) {
+    return std::fabs(got - want) <= tol * std::max(1.0, std::fabs(want));
+  };
+
+  const auto scenario = [&](const char* name, double tol, auto&& run_app) {
+    // Fault-free baseline, checkpointing off: the ground-truth answer.
+    std::vector<double> base;
+    sim::Time elapsed = 0;
+    {
+      rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+      runtime.run([&] {
+        base = run_app(runtime, 0u);
+        elapsed = runtime.now();
+      });
+    }
+
+    // Faulted run: checkpoint every 2 steps, fail-stop one victim CPU at
+    // ~45% of the baseline's elapsed time, full checking attached.
+    rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+    const unsigned victim =
+        runtime.place_cpu(a.threads / 2, a.threads, rt::Placement::kUniform);
+    fault::FaultPlan plan;
+    plan.cpu_fail(std::max<sim::Time>(1, elapsed * 45 / 100), victim);
+    fault::FaultInjector inj(plan);
+    inj.attach(runtime);
+    check::Checker checker(runtime);
+    std::vector<double> got;
+    runtime.run([&] { got = run_app(runtime, 2u); });
+
+    const auto& tot = runtime.machine().perf();
+    std::string why;
+    if (!checker.clean()) why += " oracle";
+    if (tot.checkpoints_taken == 0) why += " no-checkpoint";
+    if (tot.rollbacks == 0) why += " no-rollback";
+    if (got.size() != base.size()) {
+      why += " shape";
+    } else {
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (!close(got[i], base[i], tol)) {
+          why += " diverged";
+          break;
+        }
+      }
+    }
+    std::printf("  %-12s cpu %2u down  %3llu ckpts %2llu rollbacks "
+                "%2llu task-deaths %2llu migrations  %s%s\n",
+                name, victim,
+                static_cast<unsigned long long>(tot.checkpoints_taken),
+                static_cast<unsigned long long>(tot.rollbacks),
+                static_cast<unsigned long long>(tot.tasks_failed),
+                static_cast<unsigned long long>(tot.cpu_recoveries),
+                why.empty() ? "recovered" : "FAILED:", why.c_str());
+    if (!why.empty()) {
+      if (!checker.clean()) checker.report(stdout);
+      ++failures;
+    }
+  };
+
+  scenario("femgas", 0.0, [&](rt::Runtime& rt, unsigned k) {
+    fem::FemConfig cfg;
+    cfg.nx = 24;
+    cfg.ny = 12;
+    cfg.steps = 6;
+    cfg.ckpt_interval = k;
+    fem::FemGas app(rt, cfg, a.threads, rt::Placement::kUniform);
+    app.init_blast(2.0, 3.0);
+    const auto r = app.run();
+    return std::vector<double>{r.final.total_mass, r.final.total_mom_x,
+                               r.final.total_mom_y, r.final.total_energy,
+                               r.final.min_density, r.final.min_pressure};
+  });
+  scenario("ppm", 0.0, [&](rt::Runtime& rt, unsigned k) {
+    ppm::PpmConfig cfg;
+    cfg.nx = 24;
+    cfg.ny = 48;
+    cfg.tiles_x = 2;
+    cfg.tiles_y = 4;
+    cfg.steps = 4;
+    cfg.ckpt_interval = k;
+    ppm::PpmTiled app(rt, cfg, a.threads, rt::Placement::kUniform);
+    app.init_sod_x();
+    const auto r = app.run();
+    return std::vector<double>{r.final.mass, r.final.mom_x, r.final.mom_y,
+                               r.final.energy, r.final.min_rho,
+                               r.final.min_p};
+  });
+  scenario("pic", 0.0, [&](rt::Runtime& rt, unsigned k) {
+    pic::PicConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.steps = 6;
+    cfg.ckpt_interval = k;
+    pic::PicShared app(rt, cfg, a.threads, rt::Placement::kUniform);
+    const auto r = app.run();
+    std::vector<double> d{r.final.kinetic_energy, r.final.field_energy,
+                          r.final.total_charge, r.final.momentum_z};
+    d.insert(d.end(), r.field_energy_history.begin(),
+             r.field_energy_history.end());
+    return d;
+  });
+  scenario("nbody", 0.0, [&](rt::Runtime& rt, unsigned k) {
+    nbody::NbodyConfig cfg;
+    cfg.n = 256;
+    cfg.steps = 4;
+    cfg.ckpt_interval = k;
+    nbody::NbodyShared app(rt, cfg, a.threads, rt::Placement::kUniform);
+    app.load_plummer();
+    const auto r = app.run();
+    return std::vector<double>{r.final.kinetic, r.final.px, r.final.py,
+                               r.final.pz};
+  });
+  // PVM variants: ULFM-style shrink + rollback.  The survivors redo the
+  // combines with one fewer rank, so reductions associate differently.
+  scenario("pic-pvm", 1e-6, [&](rt::Runtime& rt, unsigned k) {
+    pic::PicConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.steps = 6;
+    cfg.ckpt_interval = k;
+    pic::PicPvm app(rt, cfg, a.threads, rt::Placement::kUniform);
+    const auto r = app.run();
+    std::vector<double> d{r.final.kinetic_energy, r.final.field_energy,
+                          r.final.total_charge, r.final.momentum_z};
+    d.insert(d.end(), r.field_energy_history.begin(),
+             r.field_energy_history.end());
+    return d;
+  });
+  scenario("nbody-pvm", 1e-9, [&](rt::Runtime& rt, unsigned k) {
+    nbody::NbodyConfig cfg;
+    cfg.n = 256;
+    cfg.steps = 4;
+    cfg.ckpt_interval = k;
+    nbody::NbodyPvm app(rt, cfg, a.threads, rt::Placement::kUniform);
+    const auto r = app.run();
+    return std::vector<double>{r.final.kinetic, r.final.px, r.final.py,
+                               r.final.pz};
+  });
+
+  if (failures != 0) {
+    std::printf("\nsurvive: %u scenario(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nsurvive: all scenarios recovered to the fault-free "
+              "answer\n");
   return 0;
 }
 
@@ -363,6 +549,7 @@ int main(int argc, char** argv) {
     if (a.cmd == "message") return cmd_message(a);
     if (a.cmd == "chaos") return cmd_chaos(a);
     if (a.cmd == "check") return cmd_check(a);
+    if (a.cmd == "survive") return cmd_survive(a);
     if (a.cmd == "map") return cmd_map(a);
   } catch (const std::exception& e) {
     // ConfigError for malformed plans; TimeoutError / runtime_error when a
@@ -373,7 +560,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: sppsim-explore "
-               "latency|forkjoin|barrier|message|chaos|check|map "
+               "latency|forkjoin|barrier|message|chaos|check|survive|map "
                "[--nodes N] [--threads T] [--bytes B] [--l1-kb K] "
                "[--rounds R] [--fault-plan FILE]\n");
   return 2;
