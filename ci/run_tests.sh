@@ -8,7 +8,12 @@
 # recover from a mid-run CPU fail-stop to the fault-free answer, under
 # asan, with the spp::check oracles attached.
 #
-# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only]
+# A non-gating bench-smoke leg (--bench-smoke) builds Release with the
+# fiber backend and runs sppsim-bench --smoke under BOTH conductor
+# backends: it fails only on simulated-time or counter-digest divergence
+# (docs/PERFORMANCE.md), never on wall-clock numbers.
+#
+# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only|--bench-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -61,6 +66,21 @@ fi
 if [[ "$MODE" == "all" || "$MODE" == "--werror-only" ]]; then
   echo "=== tier-1: strict warnings (-Werror -Wshadow -Wconversion) ==="
   run_suite build-werror -DSPP_WERROR=ON
+fi
+
+# Not part of "all": wall-clock numbers are host-dependent, so this leg is
+# opt-in for CI's non-gating bench job.  Divergence of sim time or digest
+# between the two backends is still a hard failure.
+if [[ "$MODE" == "--bench-smoke" ]]; then
+  echo "=== bench-smoke: Release fibers build, both backends ==="
+  cmake -B build-bench -S . \
+    -DCMAKE_BUILD_TYPE=Release -DSPP_FIBERS=ON
+  cmake --build build-bench -j "$JOBS" --target sppsim-bench
+  mkdir -p build-bench/bench-out
+  build-bench/tools/sppsim-bench --smoke --backend both \
+    --out build-bench/bench-out
+  build-bench/tools/sppsim-bench --smoke --backend both \
+    --check bench/baselines
 fi
 
 echo "=== tier-1: OK ==="

@@ -7,6 +7,7 @@
 // never appears on the latency paths the paper measures.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -33,20 +34,36 @@ class L1Cache {
   static constexpr LineAddr kNoLine = std::numeric_limits<LineAddr>::max();
 
   explicit L1Cache(std::uint64_t bytes = 1ull << 20, unsigned num_fus = 1)
-      : sets_(bytes / kLineBytes), num_fus_(num_fus), entries_(sets_) {}
+      : sets_(bytes / kLineBytes),
+        sets_mask_((sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0),
+        num_fus_(num_fus) {}
 
   std::uint64_t sets() const { return sets_; }
 
   std::uint64_t set_of(LineAddr line) const {
-    return compact_line(line, num_fus_) % sets_;
+    // Real cache geometries are powers of two; mask instead of dividing
+    // (set_of sits on every L1 state probe in Machine::access).
+    const std::uint64_t compact = compact_line(line, num_fus_);
+    return sets_mask_ != 0 ? compact & sets_mask_ : compact % sets_;
   }
 
   /// The direct-mapped slot a line would occupy (may currently hold another
-  /// line, or be invalid).
-  Entry& slot(LineAddr line) { return entries_[set_of(line)]; }
-  const Entry& slot(LineAddr line) const { return entries_[set_of(line)]; }
+  /// line, or be invalid).  Materialises the set's backing storage.
+  Entry& slot(LineAddr line) {
+    const std::uint64_t set = set_of(line);
+    if (set >= entries_.size()) grow(set);
+    return entries_[set];
+  }
+  const Entry& slot(LineAddr line) const {
+    const std::uint64_t set = set_of(line);
+    return set < entries_.size() ? entries_[set] : kEmpty;
+  }
 
-  /// Direct access to a set's entry by set index (flush/introspection).
+  /// Sets with backing storage so far (<= sets()); flush walks only these.
+  std::uint64_t allocated_sets() const { return entries_.size(); }
+
+  /// Direct access to a set's entry by set index (flush/introspection);
+  /// `set` must be < allocated_sets().
   Entry& entry_at(std::uint64_t set) { return entries_[set]; }
 
   /// True if `line` is present with at least Shared permission.
@@ -68,8 +85,12 @@ class L1Cache {
   }
 
   /// Drops `line` if present (invalidation).  Returns true if it was present.
+  /// Never materialises storage: an invalidation for an absent line is a
+  /// no-op.
   bool invalidate(LineAddr line) {
-    Entry& e = slot(line);
+    const std::uint64_t set = set_of(line);
+    if (set >= entries_.size()) return false;
+    Entry& e = entries_[set];
     if (e.line != line || e.state == LineState::kInvalid) return false;
     e.state = LineState::kInvalid;
     e.line = kNoLine;
@@ -78,7 +99,9 @@ class L1Cache {
 
   /// Downgrades `line` to Shared if present in Modified or Exclusive.
   void downgrade(LineAddr line) {
-    Entry& e = slot(line);
+    const std::uint64_t set = set_of(line);
+    if (set >= entries_.size()) return;
+    Entry& e = entries_[set];
     if (e.line == line && (e.state == LineState::kModified ||
                            e.state == LineState::kExclusive)) {
       e.state = LineState::kShared;
@@ -91,9 +114,24 @@ class L1Cache {
   }
 
  private:
+  /// Backing storage grows on demand to cover the highest set actually
+  /// touched; `sets_`/`sets_mask_` fix the architected geometry (and hence
+  /// every conflict), so laziness is invisible to the protocol.  Eagerly
+  /// materialising all sets dominated Machine construction wall time.
+  void grow(std::uint64_t set) {
+    std::uint64_t cap = entries_.empty() ? 64 : entries_.size();
+    while (cap <= set) cap *= 2;
+    entries_.resize(std::min(cap, sets_));
+  }
+
+  static const Entry kEmpty;
+
   std::uint64_t sets_;
+  std::uint64_t sets_mask_;  ///< sets_-1 when a power of two, else 0.
   unsigned num_fus_;
   std::vector<Entry> entries_;
 };
+
+inline const L1Cache::Entry L1Cache::kEmpty{};
 
 }  // namespace spp::arch

@@ -21,7 +21,8 @@ Machine::Machine(Topology topo, CostModel cm)
       perf_(topo.num_cpus()),
       rings_(topo, cm),
       l1_(topo.num_cpus(), L1Cache(cm.l1_bytes, topo.num_fus())),
-      fus_(topo.num_fus()) {
+      fus_(topo.num_fus()),
+      mru_(topo.num_cpus()) {
   rings_.set_perf(&perf_);
   for (auto& fu : fus_) fu.banks.resize(cm_.banks_per_fu);
   gcaches_.reserve(topo_.nodes * kNumRings);
@@ -32,8 +33,8 @@ Machine::Machine(Topology topo, CostModel cm)
 }
 
 void Machine::maybe_erase(LineAddr line) {
-  auto it = directory_.find(line);
-  if (it != directory_.end() && it->second.empty()) directory_.erase(it);
+  const HomeEntry* e = directory_.find(line);
+  if (e != nullptr && e->empty()) directory_.erase(line);
 }
 
 // ---------------------------------------------------------------------------
@@ -41,7 +42,35 @@ void Machine::maybe_erase(LineAddr line) {
 // ---------------------------------------------------------------------------
 
 sim::Time Machine::access(unsigned cpu, VAddr va, bool write, sim::Time now) {
-  const PAddr pa = vm_.translate(va, cpu);
+  // Translation MRU: repeat touches of the same line (the common case in
+  // streaming loops and lock spins) skip the region binary search.
+  TranslateMru& mru = mru_[cpu];
+  const VAddr va_line = va & ~static_cast<VAddr>(kLineBytes - 1);
+  PAddr pa;
+  if (va_line == mru.va_line) {
+    pa = mru.pa_line | (va & (kLineBytes - 1));
+  } else {
+    pa = vm_.translate(va, cpu);
+    // Cache the line only if it maps uniformly (PA linear in VA across the
+    // whole line).  Always true when interleave granularities are line
+    // multiples; a BlockShared region with a ragged block size (tolerated
+    // in release builds) can split a line across blocks, and replaying such
+    // a line from the MRU would diverge from per-access translation.
+    const PAddr pa_base =
+        va == va_line ? pa : vm_.translate(va_line, cpu);
+    if (vm_.translate(va_line + kLineBytes - 1, cpu) ==
+        pa_base + (kLineBytes - 1)) {
+      mru.va_line = va_line;
+      mru.pa_line = pa_base;
+    } else {
+      mru.va_line = ~VAddr{0};
+    }
+  }
+  return access_at(cpu, va, pa, write, now);
+}
+
+sim::Time Machine::access_at(unsigned cpu, VAddr va, PAddr pa, bool write,
+                             sim::Time now) {
   const LineAddr line = line_of(pa);
   CpuCounters& c = perf_.cpu[cpu];
   (write ? c.stores : c.loads)++;
@@ -104,8 +133,18 @@ sim::Time Machine::access_block(unsigned cpu, VAddr va, std::uint64_t bytes,
   if (bytes == 0) return now;
   const VAddr first = va & ~(kLineBytes - 1);
   const VAddr last = (va + bytes - 1) & ~(kLineBytes - 1);
-  for (VAddr a = first; a <= last; a += kLineBytes) {
-    now = access(cpu, a, write, now);
+  if (first == last) return access(cpu, first, write, now);
+  // Translate once per physically contiguous run and walk its lines with
+  // plain pointer arithmetic; equivalent to access() per line base, minus
+  // the per-line translation.
+  VAddr a = first;
+  while (a <= last) {
+    VAddr run_end = 0;
+    PAddr pa = vm_.translate_run(a, cpu, &run_end);
+    const VAddr run_last = std::min(last, run_end - kLineBytes);
+    for (; a <= run_last; a += kLineBytes, pa += kLineBytes) {
+      now = access_at(cpu, a, pa, write, now);
+    }
   }
   return now;
 }
@@ -547,12 +586,11 @@ void Machine::evict_l1_entry(unsigned cpu, L1Cache::Entry& entry,
   }
 
   if (home_node == my_node) {
-    auto it = directory_.find(victim);
-    if (it != directory_.end()) {
-      HomeEntry& e = it->second;
-      if (e.owner_cpu == static_cast<int>(cpu)) e.owner_cpu = -1;
-      e.cpu_sharers &= static_cast<std::uint8_t>(~bit(cpu_in_node));
-      if (e.empty()) directory_.erase(it);
+    HomeEntry* e = directory_.find(victim);
+    if (e != nullptr) {
+      if (e->owner_cpu == static_cast<int>(cpu)) e->owner_cpu = -1;
+      e->cpu_sharers &= static_cast<std::uint8_t>(~bit(cpu_in_node));
+      if (e->empty()) directory_.erase(victim);
     }
   } else {
     const unsigned ring = topo_.ring_of_fu(home_fu);
@@ -584,18 +622,17 @@ void Machine::evict_gcache_entry(unsigned node, [[maybe_unused]] unsigned ring,
   ++perf_.gcache_evictions;
   invalidate_gcache_backed_l1(node, ge);
 
-  auto it = directory_.find(victim);
-  if (it != directory_.end()) {
-    HomeEntry& e = it->second;
-    e.sci_list.erase(std::remove(e.sci_list.begin(), e.sci_list.end(),
-                                 static_cast<std::uint8_t>(node)),
-                     e.sci_list.end());
-    if (e.remote_dirty && e.owner_node == node) {
-      e.remote_dirty = false;
+  HomeEntry* e = directory_.find(victim);
+  if (e != nullptr) {
+    e->sci_list.erase(std::remove(e->sci_list.begin(), e->sci_list.end(),
+                                  static_cast<std::uint8_t>(node)),
+                      e->sci_list.end());
+    if (e->remote_dirty && e->owner_node == node) {
+      e->remote_dirty = false;
       // Rollout writeback occupies the home bank off the critical path.
       bank_for(line_base(victim)).acquire(now, sim::cycles(cm_.bank_hold));
     }
-    if (e.empty()) directory_.erase(it);
+    if (e->empty()) directory_.erase(victim);
   }
   ge = sci::GCache::Entry{};
 }
@@ -709,7 +746,7 @@ sim::Time Machine::atomic_rmw(unsigned cpu, VAddr va, sim::Time now) {
 
 void Machine::flush_l1(unsigned cpu) {
   L1Cache& l1 = l1_[cpu];
-  for (std::uint64_t set = 0; set < l1.sets(); ++set) {
+  for (std::uint64_t set = 0; set < l1.allocated_sets(); ++set) {
     L1Cache::Entry& e = l1.entry_at(set);
     if (e.state != LineState::kInvalid) evict_l1_entry(cpu, e, 0);
   }
@@ -735,15 +772,14 @@ unsigned Machine::sharer_count(VAddr va) const {
 
 Machine::DirView Machine::dir_view(LineAddr line) const {
   DirView v;
-  auto it = directory_.find(line);
-  if (it == directory_.end()) return v;
-  const HomeEntry& e = it->second;
+  const HomeEntry* e = directory_.find(line);
+  if (e == nullptr) return v;
   v.present = true;
-  v.cpu_sharers = e.cpu_sharers;
-  v.owner_cpu = e.owner_cpu;
-  v.remote_dirty = e.remote_dirty;
-  v.owner_node = e.owner_node;
-  v.sci_list = e.sci_list;
+  v.cpu_sharers = e->cpu_sharers;
+  v.owner_cpu = e->owner_cpu;
+  v.remote_dirty = e->remote_dirty;
+  v.owner_node = e->owner_node;
+  v.sci_list = e->sci_list;
   return v;
 }
 

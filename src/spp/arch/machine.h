@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "spp/arch/address.h"
 #include "spp/arch/cache.h"
 #include "spp/arch/cost_model.h"
+#include "spp/arch/flat_map.h"
 #include "spp/arch/observer.h"
 #include "spp/arch/perf.h"
 #include "spp/arch/topology.h"
@@ -148,6 +148,11 @@ class Machine {
     return gcaches_[node * kNumRings + ring];
   }
 
+  /// The protocol walk shared by access() and access_block(), after address
+  /// translation: `pa` must be the translation of `va` for `cpu`.
+  sim::Time access_at(unsigned cpu, VAddr va, PAddr pa, bool write,
+                      sim::Time now);
+
   sim::Time miss_fill(unsigned cpu, PAddr pa, bool write, sim::Time t);
   sim::Time local_fill(unsigned cpu, PAddr pa, bool write, sim::Time t);
   sim::Time remote_fill(unsigned cpu, PAddr pa, bool write, sim::Time t);
@@ -178,6 +183,16 @@ class Machine {
   void invalidate_gcache_backed_l1(unsigned node,
                                    const sci::GCache::Entry& ge);
 
+  /// Last line translated per CPU.  Translations are immutable (the VMem
+  /// bump allocator only appends regions), so replaying the cached physical
+  /// line for a repeat hit is exact -- it skips the region binary search,
+  /// nothing else.  Purely a wall-clock cache: no simulated state or timing
+  /// depends on it (docs/PERFORMANCE.md).
+  struct TranslateMru {
+    VAddr va_line = ~VAddr{0};
+    PAddr pa_line = 0;
+  };
+
   Topology topo_;
   CostModel cm_;
   VMem vm_;
@@ -186,7 +201,11 @@ class Machine {
   std::vector<L1Cache> l1_;
   std::vector<FuState> fus_;
   std::vector<sci::GCache> gcaches_;  ///< [node * 4 + ring]
-  std::unordered_map<LineAddr, HomeEntry> directory_;
+  /// Home directory: open-addressing flat map (docs/PERFORMANCE.md) -- one
+  /// cache-friendly probe per access() instead of an unordered_map node
+  /// chase, and no per-line heap allocation.
+  FlatMap<LineAddr, HomeEntry> directory_;
+  std::vector<TranslateMru> mru_;  ///< per-CPU translation fast path.
   MemObserver* observer_ = nullptr;
   TestMutation mutation_;
 };

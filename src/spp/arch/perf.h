@@ -103,6 +103,69 @@ struct PerfCounters {
     const auto n = cpu.size();
     *this = PerfCounters(static_cast<unsigned>(n));
   }
+
+  /// Order-sensitive FNV-1a digest of every integer counter the machine
+  /// keeps -- per-CPU families in declaration order, then the globals --
+  /// plus the caller's final simulated time.  Two runs of the same workload
+  /// must produce bit-identical digests regardless of conductor backend or
+  /// host; this is the oracle the determinism tests and sppsim-bench use
+  /// (docs/PERFORMANCE.md).  `flops` is a double accumulated identically on
+  /// every path and is deliberately excluded to keep the digest integral.
+  std::uint64_t digest(sim::Time elapsed) const {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 1099511628211ull;
+      }
+    };
+    for (const CpuCounters& c : cpu) {
+      mix(c.loads);
+      mix(c.stores);
+      mix(c.l1_hits);
+      mix(c.upgrades);
+      mix(c.miss_fu_local);
+      mix(c.miss_node);
+      mix(c.miss_gcache);
+      mix(c.miss_remote);
+      mix(c.writebacks);
+      mix(c.uncached_ops);
+      mix(c.atomic_ops);
+      mix(c.invals_received);
+      mix(c.mem_stall);
+      mix(c.compute);
+    }
+    mix(ring_packets);
+    mix(sci_purges);
+    mix(sci_purge_targets);
+    mix(invals_sent);
+    mix(gcache_evictions);
+    mix(l1_evictions);
+    mix(faults_injected);
+    mix(pvm_msgs_dropped);
+    mix(pvm_msgs_duplicated);
+    mix(pvm_msgs_delayed);
+    mix(pvm_retries);
+    mix(pvm_retransmitted_bytes);
+    mix(ring_reroutes);
+    mix(ring_reroute_hops);
+    mix(cpu_recoveries);
+    mix(recovery_ns);
+    mix(checkpoints_taken);
+    mix(ckpt_bytes);
+    mix(rollbacks);
+    mix(tasks_failed);
+    mix(task_notifications);
+    mix(ckpt_ns);
+    mix(rollback_ns);
+    mix(check_events);
+    mix(check_violations);
+    mix(races_detected);
+    mix(deadlock_cycles);
+    mix(deadlock_reports);
+    mix(elapsed);
+    return h;
+  }
 };
 
 }  // namespace spp::arch

@@ -131,6 +131,37 @@ PAddr VMem::translate(VAddr va, unsigned cpu) const {
   throw std::logic_error("VMem: bad memory class");
 }
 
+PAddr VMem::translate_run(VAddr va, unsigned cpu, VAddr* run_end) const {
+  const Region& r = region_of(va);
+  const std::uint64_t off = va - r.base;
+  std::uint64_t gran;
+  switch (r.mem_class) {
+    case MemClass::kThreadPrivate:
+      // One instance, physically contiguous: the whole region is one run.
+      gran = r.size;
+      break;
+    case MemClass::kBlockShared:
+      gran = r.block_bytes;
+      break;
+    default:
+      // Page-interleaved classes change FU at page boundaries.
+      gran = kPageBytes;
+      break;
+  }
+  VAddr end = r.base + std::min<std::uint64_t>(r.size, (off / gran + 1) * gran);
+  // A block size that is not a line multiple (tolerated in release builds;
+  // the allocate() assert flags it in debug) yields a run end mid-line.
+  // Floor it: callers iterate whole lines, and a line straddling a block
+  // boundary belongs to the run that translate() of its base picks.  When
+  // flooring would empty the run, degrade to a single line -- that line is
+  // then translated exactly as a per-line walk would.
+  end &= ~static_cast<VAddr>(kLineBytes - 1);
+  const VAddr va_line = va & ~static_cast<VAddr>(kLineBytes - 1);
+  if (end <= va_line) end = va_line + kLineBytes;
+  *run_end = end;
+  return translate(va, cpu);
+}
+
 bool VMem::shared_between(VAddr va, unsigned cpu_a, unsigned cpu_b) const {
   return translate(va, cpu_a) == translate(va, cpu_b);
 }

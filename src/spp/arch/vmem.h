@@ -68,6 +68,15 @@ class VMem {
   /// NodePrivate resolve to the accessor's own instance.
   PAddr translate(VAddr va, unsigned cpu) const;
 
+  /// Like translate(), but also reports the end (one past the last byte) of
+  /// the PHYSICALLY CONTIGUOUS run containing `va`: within [va, *run_end)
+  /// the physical address advances linearly with the virtual address, so
+  /// callers streaming a block may translate once per run instead of once
+  /// per line.  Runs end at interleave boundaries (page, block, or region,
+  /// by memory class), floored to a line boundary; the result is always at
+  /// least one line past the line containing `va`.
+  PAddr translate_run(VAddr va, unsigned cpu, VAddr* run_end) const;
+
   /// Region lookup (asserts the address is mapped).
   const Region& region_of(VAddr va) const;
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <utility>
 
@@ -118,9 +117,26 @@ void FaultPlan::validate(const arch::Topology& topo) const {
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return events[a].at < events[b].at;
   });
-  std::map<std::pair<unsigned, unsigned>, bool> link_down;
-  std::map<std::pair<unsigned, unsigned>, sim::Time> link_last_at;
-  std::map<unsigned, bool> cpu_down;
+  // Plans are small (tens of events at most) and this runs once per attach,
+  // so flat storage with a linear probe beats node-based maps: no per-key
+  // allocation, and the handful of distinct links fits in one cache line.
+  struct LinkTrack {
+    unsigned ring;
+    unsigned node;
+    bool down = false;
+    bool seen = false;  ///< any prior event on this link.
+    sim::Time last_at = 0;
+  };
+  std::vector<LinkTrack> links;
+  auto track = [&links](unsigned ring, unsigned node) -> LinkTrack& {
+    for (LinkTrack& l : links) {
+      if (l.ring == ring && l.node == node) return l;
+    }
+    links.push_back({.ring = ring, .node = node});
+    return links.back();
+  };
+  // CPU ids were range-checked in the per-event pass above.
+  std::vector<char> cpu_down(topo.num_cpus(), 0);
   sim::Time pvm_last_at = 0;
   bool pvm_seen = false;
   for (const std::size_t i : order) {
@@ -132,33 +148,31 @@ void FaultPlan::validate(const arch::Topology& topo) const {
       case FaultEvent::Kind::kLinkDown:
       case FaultEvent::Kind::kLinkUp:
       case FaultEvent::Kind::kLinkDegrade: {
-        const std::pair<unsigned, unsigned> link{e.ring, e.node};
+        LinkTrack& l = track(e.ring, e.node);
         const std::string link_name = "link (ring " + std::to_string(e.ring) +
                                       ", node " + std::to_string(e.node) + ")";
-        if (const auto it = link_last_at.find(link);
-            it != link_last_at.end() && it->second == e.at) {
+        if (l.seen && l.last_at == e.at) {
           bad("second event on " + link_name + " at t=" +
               std::to_string(e.at) + " ns; same-resource events need "
               "distinct times to have a defined order");
         }
-        link_last_at[link] = e.at;
-        bool& down = link_down[link];
+        l.seen = true;
+        l.last_at = e.at;
         if (e.kind == FaultEvent::Kind::kLinkDown) {
-          if (down) bad(link_name + " is already down");
-          down = true;
+          if (l.down) bad(link_name + " is already down");
+          l.down = true;
         } else if (e.kind == FaultEvent::Kind::kLinkUp) {
-          if (!down) bad(link_name + " is already up");
-          down = false;
+          if (!l.down) bad(link_name + " is already up");
+          l.down = false;
         }
         break;
       }
       case FaultEvent::Kind::kCpuFail: {
-        bool& down = cpu_down[e.cpu];
-        if (down) {
+        if (cpu_down[e.cpu] != 0) {
           bad("cpu " + std::to_string(e.cpu) +
               " fail-stops twice; fail-stop is permanent");
         }
-        down = true;
+        cpu_down[e.cpu] = 1;
         break;
       }
       case FaultEvent::Kind::kPvmLoss:

@@ -11,7 +11,18 @@
 
 namespace spp::pvm {
 
-thread_local int Pvm::current_tid_ = -1;
+int Pvm::current_tid() const {
+  if (!rt::Conductor::in_sthread()) return -1;
+  const std::size_t s = rt::Conductor::self().tid();
+  if (s >= task_of_sthread_.size()) return -1;
+  return task_of_sthread_[s];
+}
+
+void Pvm::set_current_tid(int tid) {
+  const std::size_t s = rt::Conductor::self().tid();
+  if (s >= task_of_sthread_.size()) task_of_sthread_.resize(s + 1, -1);
+  task_of_sthread_[s] = tid;
+}
 
 void Message::charge_unpack(std::size_t bytes) {
   if (charged_rt_ == nullptr || bytes == 0) return;
@@ -44,9 +55,9 @@ void Pvm::set_fail_stop_kill(bool on) {
 }
 
 bool Pvm::kill_current() const {
-  return kill_on_fail_ && current_tid_ >= 0 &&
-         current_tid_ < static_cast<int>(tasks_.size()) &&
-         !tasks_[current_tid_]->dead_;
+  const int tid = current_tid();
+  return kill_on_fail_ && tid >= 0 && tid < static_cast<int>(tasks_.size()) &&
+         !tasks_[tid]->dead_;
 }
 
 void Pvm::post_notification(Task& to, int dead_tid) {
@@ -157,8 +168,9 @@ bool Pvm::task_dead(int tid) const {
 }
 
 int Pvm::mytid() const {
-  if (current_tid_ < 0) throw std::logic_error("pvm: not inside a task");
-  return current_tid_;
+  const int tid = current_tid();
+  if (tid < 0) throw std::logic_error("pvm: not inside a task");
+  return tid;
 }
 
 void Pvm::spawn(unsigned n, rt::Placement placement,
@@ -174,7 +186,7 @@ void Pvm::spawn(unsigned n, rt::Placement placement,
   }
   Pvm* self = this;
   rt_->parallel(n, placement, [self, &body](unsigned i, unsigned nt) {
-    current_tid_ = static_cast<int>(i);
+    self->set_current_tid(static_cast<int>(i));
     try {
       body(*self, static_cast<int>(i), static_cast<int>(nt));
     } catch (const rt::TaskKilled& k) {
@@ -182,7 +194,7 @@ void Pvm::spawn(unsigned n, rt::Placement placement,
       // TaskFailed notifications and carry on (docs/RECOVERY.md).
       self->on_task_killed(static_cast<int>(i), k.cpu);
     }
-    current_tid_ = -1;
+    self->set_current_tid(-1);
   });
   // Tasks are gone once the fork-join completes.
   tasks_.clear();
@@ -338,7 +350,9 @@ std::shared_ptr<Message> Pvm::take_match(Task& task, int src, int tag,
           return matches(*m, src, tag) && m->visible_at_ <= visible_by;
         });
     if (it == task.mailbox_.end()) return nullptr;
-    std::shared_ptr<Message> msg = *it;
+    // Move the shared_ptr out before erasing: a copy here would churn the
+    // refcount on every delivered message for nothing.
+    std::shared_ptr<Message> msg = std::move(*it);
     task.mailbox_.erase(it);
     if (fault_ != nullptr && fault_->reliable_transport()) {
       // Transport-level duplicate: the payload already reached the task

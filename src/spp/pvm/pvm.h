@@ -19,6 +19,7 @@
 // granularity (sampled) so PVM traffic shows up in the hardware counters.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -55,11 +56,20 @@ class Message {
   int tag = 0;
   int sender = -1;
 
+  /// Pre-sizes the payload so subsequent pack() calls append without
+  /// reallocating.
+  void reserve(std::size_t bytes) { payload_.reserve(bytes); }
+
   template <typename T>
   void pack(const T* data, std::size_t count) {
     const std::size_t bytes = count * sizeof(T);
     if (bytes == 0) return;
     const std::size_t old = payload_.size();
+    if (old + bytes > payload_.capacity()) {
+      // Grow geometrically: resize() alone is allowed to grow to exactly
+      // size+bytes, which turns a pack-per-element loop quadratic.
+      payload_.reserve(std::max(old + bytes, old * 2));
+    }
     payload_.resize(old + bytes);
     std::memcpy(payload_.data() + old, data, bytes);
   }
@@ -77,6 +87,9 @@ class Message {
 
   std::size_t size_bytes() const { return payload_.size(); }
   std::size_t remaining() const { return payload_.size() - cursor_; }
+  /// Current payload allocation; lets tests assert that pre-sized messages
+  /// pack without reallocating.
+  std::size_t capacity_bytes() const { return payload_.capacity(); }
 
  private:
   friend class Pvm;
@@ -261,7 +274,14 @@ class Pvm : private rt::FailStopPolicy {
   std::uint64_t next_seq_ = 1;             ///< reliable-mode sequence counter.
   bool kill_on_fail_ = false;              ///< ULFM kill semantics enabled.
   int dead_count_ = 0;                     ///< fail-stopped tasks this spawn.
-  static thread_local int current_tid_;
+  /// PVM task id per *simulated* thread (indexed by SThread tid), -1 when
+  /// that thread is not a task.  Under the fiber conductor backend every
+  /// task shares one OS thread, so a thread_local here would be clobbered
+  /// across scheduling points; keying on the simulated tid works under both
+  /// backends.
+  std::vector<int> task_of_sthread_;
+  int current_tid() const;
+  void set_current_tid(int tid);
 };
 
 /// A communicator-like view of the live tasks (the analogue of ULFM's

@@ -2,11 +2,17 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <set>
 #include <stdexcept>
 
 #include "spp/sim/log.h"
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
 
 namespace spp::rt {
 
@@ -16,6 +22,34 @@ thread_local SThread* g_current = nullptr;
 /// Thrown inside a simulated thread when the conductor tears the simulation
 /// down (deadlock, destruction); unwinds the thread's stack cleanly.
 struct ShutdownSignal {};
+
+/// Fiber stacks are virtual-memory reservations; only touched pages commit,
+/// so a generous size costs nothing and keeps deep app frames safe.
+constexpr std::size_t kFiberStackBytes = 1u << 20;
+}
+
+bool fibers_available() {
+#if defined(__SANITIZE_THREAD__) || __has_feature(thread_sanitizer)
+  return false;
+#else
+  return Fiber::supported();
+#endif
+}
+
+ConductorBackend default_conductor_backend() {
+  static const ConductorBackend backend = [] {
+    if (!fibers_available()) return ConductorBackend::kThreads;
+    if (const char* env = std::getenv("SPP_CONDUCTOR")) {
+      if (std::strcmp(env, "threads") == 0) return ConductorBackend::kThreads;
+      if (std::strcmp(env, "fibers") == 0) return ConductorBackend::kFibers;
+    }
+#if defined(SPP_FIBERS) && SPP_FIBERS
+    return ConductorBackend::kFibers;
+#else
+    return ConductorBackend::kThreads;
+#endif
+  }();
+  return backend;
 }
 
 const char* to_string(BlockReason::Kind kind) {
@@ -37,7 +71,30 @@ const char* to_string(BlockReason::Kind kind) {
 SThread::SThread(Conductor* c, unsigned tid, unsigned cpu, sim::Time start,
                  std::function<void()> fn)
     : conductor_(c), tid_(tid), cpu_(cpu), clock_(start), fn_(std::move(fn)) {
-  os_ = std::thread([this] { os_body(); });
+  if (conductor_->backend_ == ConductorBackend::kFibers) {
+    fiber_.create(&SThread::fiber_entry, this, kFiberStackBytes);
+  } else {
+    os_ = std::thread([this] { os_body(); });
+  }
+}
+
+void SThread::fiber_entry(void* self) {
+  static_cast<SThread*>(self)->fiber_body();
+}
+
+void SThread::fiber_body() {
+  Fiber::on_entry(conductor_->main_ctx_);
+  try {
+    fn_();
+  } catch (const ShutdownSignal&) {
+    // Conductor-initiated teardown: exit quietly.
+  } catch (...) {
+    // Park the exception so the conductor can rethrow it to
+    // Conductor::run's caller (same contract as os_body).
+    error_ = std::current_exception();
+  }
+  state_ = State::kDone;
+  Fiber::exit_to(fiber_, conductor_->main_ctx_);
 }
 
 void SThread::os_body() {
@@ -70,6 +127,14 @@ void SThread::os_body() {
 }
 
 void SThread::hand_back(State next_state) {
+  if (conductor_->backend_ == ConductorBackend::kFibers) {
+    state_ = next_state;
+    Fiber::switch_to(fiber_, conductor_->main_ctx_);
+    // Resumed by run_once (which already marked us Running) or by
+    // shutdown_all (unwind).
+    if (shutdown_) throw ShutdownSignal{};
+    return;
+  }
   std::unique_lock lk(mu_);
   state_ = next_state;
   handed_back_ = true;
@@ -84,6 +149,14 @@ void SThread::hand_back(State next_state) {
 }
 
 void SThread::run_once() {
+  if (conductor_->backend_ == ConductorBackend::kFibers) {
+    state_ = State::kRunning;
+    started_ = true;
+    g_current = this;
+    Fiber::switch_to(conductor_->main_ctx_, fiber_);
+    g_current = nullptr;
+    return;
+  }
   std::unique_lock lk(mu_);
   state_ = State::kRunning;
   may_run_ = true;
@@ -109,6 +182,21 @@ void Conductor::shutdown_all() {
               blocked_report().c_str());
   }
   for (auto& t : threads_) {
+    if (backend_ == ConductorBackend::kFibers) {
+      if (t->state_ == SThread::State::kDone) continue;
+      t->shutdown_ = true;
+      if (t->started_) {
+        // Resume the fiber so hand_back throws ShutdownSignal and the stack
+        // unwinds; fiber_body marks Done and exits back here.
+        g_current = t.get();
+        Fiber::switch_to(main_ctx_, t->fiber_);
+        g_current = nullptr;
+      } else {
+        // Never entered: no frames to unwind, just retire it.
+        t->state_ = SThread::State::kDone;
+      }
+      continue;
+    }
     {
       std::lock_guard lk(t->mu_);
       t->shutdown_ = true;

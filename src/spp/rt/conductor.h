@@ -1,16 +1,23 @@
 // The conductor: a deterministic sequencer for simulated threads.
 //
-// Every simulated thread (SThread) is backed by an OS thread, but EXACTLY ONE
-// runs at any moment: the conductor always resumes the ready thread with the
-// smallest (local clock, thread id).  Application code is therefore race-free
-// and bit-reproducible; parallelism exists only in simulated time, where each
-// thread carries its own clock and contended hardware is modeled by
-// spp::sim::Resource busy-until queues (DESIGN.md section 5.1).
+// EXACTLY ONE simulated thread (SThread) runs at any moment: the conductor
+// always resumes the ready thread with the smallest (local clock, thread id).
+// Application code is therefore race-free and bit-reproducible; parallelism
+// exists only in simulated time, where each thread carries its own clock and
+// contended hardware is modeled by spp::sim::Resource busy-until queues
+// (DESIGN.md section 5.1).
 //
 // An SThread advances its clock locally (compute charges, memory access
 // latencies) and returns control to the conductor at scheduling points:
 // yield() (cheap reschedule), block() (wait for another thread to unblock
 // it), or completion.
+//
+// Two interchangeable execution backends carry the SThread stacks
+// (docs/PERFORMANCE.md): user-level fibers (default; a context switch costs
+// a function call) and one OS thread per SThread with mutex/condvar handoff
+// (the fallback, and the only backend ThreadSanitizer understands).  The
+// scheduling decisions above are backend-independent, so both produce
+// bit-identical simulated time and counters.
 #pragma once
 
 #include <condition_variable>
@@ -26,11 +33,29 @@
 #include <vector>
 
 #include "spp/arch/machine.h"
+#include "spp/rt/fiber.h"
 #include "spp/sim/time.h"
 
 namespace spp::rt {
 
 class Conductor;
+
+/// Which mechanism carries simulated-thread stacks.  Scheduling (and thus
+/// every simulated observable) is identical under both.
+enum class ConductorBackend {
+  kThreads,  ///< one OS thread per SThread, mutex/condvar ping-pong.
+  kFibers,   ///< stackful user-level fibers on the conductor's own thread.
+};
+
+/// True when the fiber backend can run in this build: a Fiber implementation
+/// exists and we are not under ThreadSanitizer (which cannot track stack
+/// switches within one OS thread; the tsan CI leg pins the thread backend).
+bool fibers_available();
+
+/// The backend new Conductors get by default: fibers when available and the
+/// build enabled them (SPP_FIBERS, on by default), else OS threads.  The
+/// environment variable SPP_CONDUCTOR=threads|fibers overrides.
+ConductorBackend default_conductor_backend();
 
 /// Simulated deadlock, diagnosed by the conductor's wait-for graph.  The
 /// message is the full per-thread blocked-on report (docs/CHECKER.md), so
@@ -90,6 +115,8 @@ class SThread {
           std::function<void()> fn);
 
   void os_body();
+  static void fiber_entry(void* self);
+  void fiber_body();
   /// Hands control back to the conductor; returns when resumed.
   void hand_back(State next_state);
   /// Conductor side: resume this thread and wait for the hand-back.
@@ -104,6 +131,7 @@ class SThread {
   BlockReason reason_;  ///< wait-for edge while Blocked.
   std::function<void()> fn_;
 
+  // Thread backend state.
   std::mutex mu_;
   std::condition_variable cv_;
   bool may_run_ = false;      // conductor -> thread
@@ -111,18 +139,26 @@ class SThread {
   bool shutdown_ = false;     // conductor -> thread: unwind and exit
   std::exception_ptr error_;  // exception that escaped fn_, if any
   std::thread os_;
+
+  // Fiber backend state.
+  Fiber fiber_;
+  bool started_ = false;  ///< the fiber has been entered at least once.
 };
 
 /// Owns all simulated threads and runs the scheduling loop.
 class Conductor {
  public:
-  explicit Conductor(arch::Machine& machine) : machine_(machine) {}
+  explicit Conductor(arch::Machine& machine,
+                     ConductorBackend backend = default_conductor_backend())
+      : machine_(machine),
+        backend_(fibers_available() ? backend : ConductorBackend::kThreads) {}
   ~Conductor();
 
   Conductor(const Conductor&) = delete;
   Conductor& operator=(const Conductor&) = delete;
 
   arch::Machine& machine() { return machine_; }
+  ConductorBackend backend() const { return backend_; }
 
   /// Runs `main_fn` as simulated thread 0 on `cpu` and drives the scheduling
   /// loop until every simulated thread has finished.  Throws on deadlock.
@@ -206,6 +242,9 @@ class Conductor {
   std::vector<unsigned> find_cycle(const SThread& start) const;
 
   arch::Machine& machine_;
+  ConductorBackend backend_;
+  /// Fiber backend: the conductor's own (host-thread) context slot.
+  Fiber main_ctx_;
   std::vector<std::unique_ptr<SThread>> threads_;
   std::set<SThread*, Order> ready_;
   std::size_t live_ = 0;     ///< threads not yet Done.

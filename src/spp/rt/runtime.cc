@@ -19,8 +19,9 @@ struct AsyncGroup::State {
   bool joined = false;
 };
 
-Runtime::Runtime(arch::Topology topo, arch::CostModel cm)
-    : machine_(topo, cm), conductor_(machine_) {}
+Runtime::Runtime(arch::Topology topo, arch::CostModel cm,
+                 ConductorBackend backend)
+    : machine_(topo, cm), conductor_(machine_, backend) {}
 
 Runtime::~Runtime() {
   if (active_ == this) active_ = prev_active_;

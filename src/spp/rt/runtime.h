@@ -91,7 +91,8 @@ class AsyncGroup {
 
 class Runtime {
  public:
-  explicit Runtime(arch::Topology topo, arch::CostModel cm = {});
+  explicit Runtime(arch::Topology topo, arch::CostModel cm = {},
+                   ConductorBackend backend = default_conductor_backend());
   ~Runtime();
 
   Runtime(const Runtime&) = delete;

@@ -9,6 +9,7 @@
 // from the line's real home can invalidate exactly the right caches.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -30,7 +31,7 @@ class GCache {
       std::numeric_limits<arch::LineAddr>::max();
 
   explicit GCache(std::uint64_t bytes, unsigned num_fus = 1)
-      : sets_(bytes / arch::kLineBytes), num_fus_(num_fus), entries_(sets_) {}
+      : sets_(bytes / arch::kLineBytes), num_fus_(num_fus) {}
 
   std::uint64_t sets() const { return sets_; }
 
@@ -38,9 +39,14 @@ class GCache {
     return arch::compact_line(line, num_fus_) % sets_;
   }
 
-  Entry& slot(arch::LineAddr line) { return entries_[set_of(line)]; }
+  Entry& slot(arch::LineAddr line) {
+    const std::uint64_t set = set_of(line);
+    if (set >= entries_.size()) grow(set);
+    return entries_[set];
+  }
   const Entry& slot(arch::LineAddr line) const {
-    return entries_[set_of(line)];
+    const std::uint64_t set = set_of(line);
+    return set < entries_.size() ? entries_[set] : kEmpty;
   }
 
   bool present(arch::LineAddr line) const {
@@ -49,7 +55,9 @@ class GCache {
   }
 
   void drop(arch::LineAddr line) {
-    Entry& e = slot(line);
+    const std::uint64_t set = set_of(line);
+    if (set >= entries_.size()) return;
+    Entry& e = entries_[set];
     if (e.line == line) e = Entry{};
   }
 
@@ -58,9 +66,24 @@ class GCache {
   }
 
  private:
+  /// The entry array is sized on demand: `sets_` is the architected set
+  /// count (it fixes `set_of`'s modulus and therefore every conflict), but
+  /// the backing storage only ever covers the highest set actually touched.
+  /// Small runs touch a handful of sets, and eagerly materialising the full
+  /// 8 MB-per-gcache array dominated `Machine` construction wall time.
+  void grow(std::uint64_t set) {
+    std::uint64_t cap = entries_.empty() ? 64 : entries_.size();
+    while (cap <= set) cap *= 2;
+    entries_.resize(std::min(cap, sets_));
+  }
+
+  static const Entry kEmpty;
+
   std::uint64_t sets_;
   unsigned num_fus_;
   std::vector<Entry> entries_;
 };
+
+inline const GCache::Entry GCache::kEmpty{};
 
 }  // namespace spp::sci

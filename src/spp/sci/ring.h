@@ -43,6 +43,7 @@ class RingFabric {
   // --- fault controls (spp::fault::FaultInjector) ---------------------------
   void set_link_alive(unsigned ring, unsigned node, bool alive) {
     lane_at(ring, node).alive = alive;
+    faults_armed_ = true;
   }
   /// Latency/occupancy multiplier for a link running below rate; 1 = healthy.
   void set_link_degrade(unsigned ring, unsigned node, std::uint32_t factor) {
@@ -50,6 +51,7 @@ class RingFabric {
       throw std::invalid_argument("sci: degrade factor must be >= 1");
     }
     lane_at(ring, node).degrade = factor;
+    faults_armed_ = true;
   }
   bool link_alive(unsigned ring, unsigned node) const {
     return lanes_.at(ring).at(node).alive;
@@ -61,6 +63,21 @@ class RingFabric {
   /// throws if every ring's link out of some node on the path is dead.
   sim::Time transit(unsigned ring, unsigned from, unsigned to, sim::Time t) {
     const unsigned hops = topo_.ring_hops(from, to);
+    // Fast path while no fault control has ever fired (the common case):
+    // every link is alive with degrade == 1, so the general loop below
+    // reduces to this arithmetic exactly -- same acquire holds, same hop
+    // charges -- minus the per-hop health probes and reroute bookkeeping.
+    if (!faults_armed_) {
+      unsigned node = from;
+      for (unsigned h = 0; h < hops; ++h) {
+        Lane& lane = lanes_[ring][node];
+        t = lane.link.acquire(t, sim::cycles(cm_.ring_link_hold));
+        t += sim::cycles(cm_.ring_hop);
+        node = (node + 1) % topo_.nodes;
+      }
+      ++packets_;
+      return t;
+    }
     unsigned node = from;
     unsigned cur = ring;
     bool rerouted = false;
@@ -129,6 +146,11 @@ class RingFabric {
   arch::CostModel cm_;
   /// lanes_[ring][i] = the link leaving node i on that ring.
   std::array<std::vector<Lane>, arch::kNumRings> lanes_;
+  /// Latched by any fault control, never cleared: transit() keeps the
+  /// per-hop health probing off the fast path until a plan actually touches
+  /// a link (even one restoring health -- correct either way, since both
+  /// paths compute identical times on a healthy fabric).
+  bool faults_armed_ = false;
   arch::PerfCounters* perf_ = nullptr;
   std::uint64_t packets_ = 0;
   std::uint64_t rerouted_packets_ = 0;

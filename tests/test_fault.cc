@@ -612,64 +612,11 @@ TEST(FaultPvm, FailStopKillNotifiesSurvivorsAndGroupShrinks) {
 // Whole-machine determinism under faults + checkpointing
 // ---------------------------------------------------------------------------
 
-/// Order-sensitive FNV-1a digest of every performance counter the machine
-/// keeps (per-CPU families, globals, fault/ckpt/check families) plus the
-/// final simulated time.
+/// Whole-machine counter digest plus final simulated time; the digest
+/// itself (field order and all) lives on PerfCounters so the determinism
+/// tests and sppsim-bench share one oracle.
 std::uint64_t perf_digest(rt::Runtime& runtime) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  };
-  const arch::PerfCounters& p = runtime.machine().perf();
-  for (const arch::CpuCounters& c : p.cpu) {
-    mix(c.loads);
-    mix(c.stores);
-    mix(c.l1_hits);
-    mix(c.upgrades);
-    mix(c.miss_fu_local);
-    mix(c.miss_node);
-    mix(c.miss_gcache);
-    mix(c.miss_remote);
-    mix(c.writebacks);
-    mix(c.uncached_ops);
-    mix(c.atomic_ops);
-    mix(c.invals_received);
-    mix(c.mem_stall);
-    mix(c.compute);
-  }
-  mix(p.ring_packets);
-  mix(p.sci_purges);
-  mix(p.sci_purge_targets);
-  mix(p.invals_sent);
-  mix(p.gcache_evictions);
-  mix(p.l1_evictions);
-  mix(p.faults_injected);
-  mix(p.pvm_msgs_dropped);
-  mix(p.pvm_msgs_duplicated);
-  mix(p.pvm_msgs_delayed);
-  mix(p.pvm_retries);
-  mix(p.pvm_retransmitted_bytes);
-  mix(p.ring_reroutes);
-  mix(p.ring_reroute_hops);
-  mix(p.cpu_recoveries);
-  mix(p.recovery_ns);
-  mix(p.checkpoints_taken);
-  mix(p.ckpt_bytes);
-  mix(p.rollbacks);
-  mix(p.tasks_failed);
-  mix(p.task_notifications);
-  mix(p.ckpt_ns);
-  mix(p.rollback_ns);
-  mix(p.check_events);
-  mix(p.check_violations);
-  mix(p.races_detected);
-  mix(p.deadlock_cycles);
-  mix(p.deadlock_reports);
-  mix(runtime.elapsed());
-  return h;
+  return runtime.machine().perf().digest(runtime.elapsed());
 }
 
 struct DigestStats {

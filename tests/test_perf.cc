@@ -1,0 +1,257 @@
+// Regression tests for the wall-clock fast paths (docs/PERFORMANCE.md):
+// the FlatMap backing the home directory, the fiber conductor backend's
+// bit-exactness against the OS-thread backend, and the pvm message buffer
+// pre-sizing.  None of these may change simulated time or counters; the
+// digest comparisons here are the oracle that they do not.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spp/arch/flat_map.h"
+#include "spp/arch/machine.h"
+#include "spp/lib/psort.h"
+#include "spp/pvm/pvm.h"
+#include "spp/rt/conductor.h"
+#include "spp/rt/garray.h"
+#include "spp/rt/loops.h"
+#include "spp/rt/runtime.h"
+#include "spp/sim/rng.h"
+
+namespace spp {
+namespace {
+
+using arch::FlatMap;
+using arch::Topology;
+
+// ---------------------------------------------------------------------------
+// FlatMap vs std::unordered_map under churn
+// ---------------------------------------------------------------------------
+
+TEST(FlatMap, MatchesUnorderedMapUnderChurn) {
+  // The directory workload: dense churn of insert / update / erase / lookup
+  // over a bounded key space (lines wrap around the caches).  Every lookup
+  // must agree with the reference map, including after the backward-shift
+  // deletions that make open addressing tricky.
+  FlatMap<std::uint64_t, std::uint64_t> fm;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  std::uint64_t x = 88172645463325252ull;  // xorshift64 state.
+  const auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int op = 0; op < 200000; ++op) {
+    const std::uint64_t key = next() % 2048;
+    switch (next() % 4) {
+      case 0:
+      case 1: {  // insert or update.
+        const std::uint64_t v = next();
+        fm[key] = v;
+        ref[key] = v;
+        break;
+      }
+      case 2: {  // erase.
+        fm.erase(key);
+        ref.erase(key);
+        break;
+      }
+      default: {  // lookup.
+        const std::uint64_t* got = fm.find(key);
+        const auto it = ref.find(key);
+        if (it == ref.end()) {
+          ASSERT_EQ(got, nullptr) << "key " << key << " at op " << op;
+        } else {
+          ASSERT_NE(got, nullptr) << "key " << key << " at op " << op;
+          ASSERT_EQ(*got, it->second) << "key " << key << " at op " << op;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(fm.size(), ref.size()) << "at op " << op;
+  }
+  // Full-content sweep both ways.
+  std::size_t walked = 0;
+  fm.for_each([&](const std::uint64_t& k, const std::uint64_t& v) {
+    ++walked;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end()) << "key " << k;
+    EXPECT_EQ(v, it->second) << "key " << k;
+  });
+  EXPECT_EQ(walked, ref.size());
+}
+
+TEST(FlatMap, SurvivesGrowthFromEmptyAndClear) {
+  FlatMap<std::uint64_t, int> fm;
+  EXPECT_EQ(fm.find(7), nullptr);
+  EXPECT_TRUE(fm.empty());
+  for (std::uint64_t k = 0; k < 10000; ++k) fm[k] = static_cast<int>(k);
+  EXPECT_EQ(fm.size(), 10000u);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(fm.find(k), nullptr);
+    ASSERT_EQ(*fm.find(k), static_cast<int>(k));
+  }
+  fm.clear();
+  EXPECT_TRUE(fm.empty());
+  EXPECT_EQ(fm.find(0), nullptr);
+  fm[3] = 4;
+  EXPECT_EQ(fm.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Directory churn at machine level, cross-checked against dir_view
+// ---------------------------------------------------------------------------
+
+TEST(DirectoryFlatMap, ChurnAcrossNodesKeepsInvariants) {
+  // Drive enough distinct lines through enough CPUs on two hypernodes that
+  // the directory sees sustained insert / erase / evict churn (a deliberately
+  // tiny gcache makes SCI entries recycle constantly), then verify the
+  // protocol invariants and directory view for a sweep of lines.
+  arch::CostModel cm;
+  cm.gcache_bytes = 64 * arch::kLineBytes;
+  rt::Runtime runtime(Topology{.nodes = 2}, cm);
+  const std::size_t n = 1u << 15;
+  rt::GlobalArray<double> a(runtime, n, arch::MemClass::kFarShared, "churn.a");
+  rt::GlobalArray<double> b(runtime, n, arch::MemClass::kFarShared, "churn.b");
+  runtime.run([&] {
+    rt::parallel_for(runtime, n, 16, rt::Placement::kUniform,
+                     rt::LoopOptions{}, [&](std::size_t i) {
+                       a.write(i, static_cast<double>(i));
+                       b.accumulate(i ^ (n - 1), 1.0);
+                       if ((i & 7u) == 0) a.read(n - 1 - i);
+                     });
+  });
+  const arch::Machine& m = runtime.machine();
+  unsigned present = 0;
+  for (std::size_t i = 0; i < n; i += 16) {
+    ASSERT_TRUE(m.check_line_invariants(a.vaddr(i))) << "a line at " << i;
+    ASSERT_TRUE(m.check_line_invariants(b.vaddr(i))) << "b line at " << i;
+    const auto dv = m.dir_view(arch::line_of(
+        m.vm().translate(a.vaddr(i), 0)));
+    if (dv.present) {
+      ++present;
+      // A present entry is non-empty by construction: some sharer, owner,
+      // or remote state must justify its existence.
+      EXPECT_TRUE(dv.cpu_sharers != 0 || dv.owner_cpu >= 0 ||
+                  dv.remote_dirty || !dv.sci_list.empty())
+          << "empty-but-present entry for a line at " << i;
+    }
+  }
+  EXPECT_GT(present, 0u) << "churn must leave live directory entries behind";
+  EXPECT_GT(m.perf().gcache_evictions, 0u)
+      << "working set must overflow the gcaches for this test to bite";
+}
+
+// ---------------------------------------------------------------------------
+// Fiber backend vs OS-thread backend: bit-exact simulation
+// ---------------------------------------------------------------------------
+
+struct RunDigest {
+  sim::Time elapsed = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Conductor-switch-heavy sync microbenchmark (dynamic loop scheduling).
+RunDigest sync_micro(rt::ConductorBackend be) {
+  rt::Runtime runtime(Topology{.nodes = 2}, arch::CostModel{}, be);
+  rt::LoopOptions opts;
+  opts.schedule = rt::Schedule::kDynamic;
+  opts.chunk = 8;
+  runtime.run([&] {
+    rt::parallel_for(runtime, 2048, 16, rt::Placement::kUniform, opts,
+                     [&](std::size_t i) {
+                       runtime.work_flops(20.0 + static_cast<double>(i) * 0.5);
+                     });
+  });
+  return {runtime.elapsed(),
+          runtime.machine().perf().digest(runtime.elapsed())};
+}
+
+/// Small real application (barriers, shared scratch, streaming memory).
+RunDigest small_app(rt::ConductorBackend be) {
+  rt::Runtime runtime(Topology{.nodes = 2}, arch::CostModel{}, be);
+  rt::GlobalArray<double> data(runtime, 2048, arch::MemClass::kFarShared,
+                               "sort.bitexact");
+  sim::Rng rng(1234);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.raw(i) = rng.uniform(-1, 1);
+  }
+  lib::parallel_sort(runtime, data, 8, rt::Placement::kUniform);
+  EXPECT_TRUE(std::is_sorted(&data.raw(0), &data.raw(0) + data.size()));
+  return {runtime.elapsed(),
+          runtime.machine().perf().digest(runtime.elapsed())};
+}
+
+TEST(Conductor, FibersVsThreadsBitExact) {
+  if (!rt::fibers_available()) {
+    GTEST_SKIP() << "fiber backend not available in this build";
+  }
+  const RunDigest micro_f = sync_micro(rt::ConductorBackend::kFibers);
+  const RunDigest micro_t = sync_micro(rt::ConductorBackend::kThreads);
+  EXPECT_EQ(micro_f.elapsed, micro_t.elapsed);
+  EXPECT_EQ(micro_f.digest, micro_t.digest)
+      << "sync micro: whole-PerfCounters digests must be bit-identical";
+
+  const RunDigest app_f = small_app(rt::ConductorBackend::kFibers);
+  const RunDigest app_t = small_app(rt::ConductorBackend::kThreads);
+  EXPECT_EQ(app_f.elapsed, app_t.elapsed);
+  EXPECT_EQ(app_f.digest, app_t.digest)
+      << "psort app: whole-PerfCounters digests must be bit-identical";
+}
+
+TEST(Conductor, RepeatRunsDigestIdentically) {
+  // Same backend twice: digests depend only on the workload, never on host
+  // scheduling or allocator state.
+  const RunDigest a = sync_micro(rt::default_conductor_backend());
+  const RunDigest b = sync_micro(rt::default_conductor_backend());
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+// ---------------------------------------------------------------------------
+// pvm::Message buffer pre-sizing
+// ---------------------------------------------------------------------------
+
+TEST(PvmMessage, PreSizedPackDoesNotReallocate) {
+  pvm::Message m;
+  m.reserve(128 * sizeof(double));
+  const std::size_t cap = m.capacity_bytes();
+  ASSERT_GE(cap, 128 * sizeof(double));
+  for (int i = 0; i < 128; ++i) {
+    const double v = static_cast<double>(i) * 1.5;
+    m.pack(&v, 1);  // element-at-a-time, the common app pattern.
+  }
+  EXPECT_EQ(m.capacity_bytes(), cap)
+      << "pack() must not reallocate a pre-sized payload";
+  EXPECT_EQ(m.size_bytes(), 128 * sizeof(double));
+  for (int i = 0; i < 128; ++i) {
+    double v = 0;
+    m.unpack(&v, 1);
+    ASSERT_EQ(v, static_cast<double>(i) * 1.5) << "element " << i;
+  }
+  EXPECT_EQ(m.remaining(), 0u);
+}
+
+TEST(PvmMessage, UnsizedPackGrowsGeometrically) {
+  // Element-at-a-time packing without reserve() must stay amortized O(1):
+  // capacity only ever doubles, so the number of distinct capacities seen
+  // over N elements is O(log N), not O(N).
+  pvm::Message m;
+  std::size_t last_cap = m.capacity_bytes();
+  unsigned growths = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const double v = 0.5;
+    m.pack(&v, 1);
+    if (m.capacity_bytes() != last_cap) {
+      ++growths;
+      last_cap = m.capacity_bytes();
+    }
+  }
+  EXPECT_LE(growths, 20u) << "pack growth must be geometric, not linear";
+}
+
+}  // namespace
+}  // namespace spp

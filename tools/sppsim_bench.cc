@@ -1,0 +1,366 @@
+// sppsim-bench: wall-clock benchmark harness for the simulator itself.
+//
+// Runs a fixed set of deterministic workloads and times the HOST wall clock
+// under one or both conductor backends, emitting one BENCH_<name>.json per
+// bench with records of {bench, backend, wall_ns, sim_ns, digest}.  The
+// simulated time and the whole-machine PerfCounters digest are the
+// correctness oracle: they must be bit-identical across backends, across
+// runs, and against a committed baseline (--check).  wall_ns is the only
+// field allowed to vary between hosts and is never compared.
+//
+// Format and CI usage: docs/PERFORMANCE.md.  Exit status: 0 = ok, 1 = sim
+// time or digest divergence (between backends or against a baseline),
+// 2 = usage or I/O error.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spp/apps/nbody/nbody.h"
+#include "spp/lib/psort.h"
+#include "spp/lib/scatter_add.h"
+#include "spp/rt/conductor.h"
+#include "spp/rt/garray.h"
+#include "spp/rt/loops.h"
+#include "spp/rt/runtime.h"
+#include "spp/sim/rng.h"
+
+namespace {
+
+using namespace spp;
+
+struct Measurement {
+  sim::Time sim_ns = 0;
+  std::uint64_t digest = 0;
+};
+
+Measurement seal(rt::Runtime& runtime) {
+  return {runtime.elapsed(),
+          runtime.machine().perf().digest(runtime.elapsed())};
+}
+
+// --- workloads -------------------------------------------------------------
+// Each bench is deterministic: fixed topology, fixed seeds, no host state.
+// "scheduling" is conductor-switch bound (the fiber backend's best case);
+// the others stress the memory system through real app/library code.
+
+Measurement bench_scheduling(rt::ConductorBackend be, bool smoke) {
+  rt::Runtime runtime(arch::Topology{.nodes = 2}, arch::CostModel{}, be);
+  const std::size_t n = smoke ? 2048 : 16384;
+  rt::LoopOptions opts;
+  opts.schedule = rt::Schedule::kDynamic;
+  opts.chunk = 8;
+  runtime.run([&] {
+    rt::parallel_for(runtime, n, 16, rt::Placement::kUniform, opts,
+                     [&](std::size_t i) {
+                       runtime.work_flops(20.0 + static_cast<double>(i) * 0.5);
+                     });
+  });
+  return seal(runtime);
+}
+
+Measurement bench_psort(rt::ConductorBackend be, bool smoke) {
+  rt::Runtime runtime(arch::Topology{.nodes = 2}, arch::CostModel{}, be);
+  const std::size_t n = smoke ? 4096 : 65536;
+  rt::GlobalArray<double> data(runtime, n, arch::MemClass::kFarShared,
+                               "bench.sort");
+  sim::Rng rng(4242);
+  for (std::size_t i = 0; i < n; ++i) data.raw(i) = rng.uniform(-100, 100);
+  lib::parallel_sort(runtime, data, 8, rt::Placement::kUniform);
+  return seal(runtime);
+}
+
+Measurement bench_scatter(rt::ConductorBackend be, bool smoke) {
+  rt::Runtime runtime(arch::Topology{.nodes = 2}, arch::CostModel{}, be);
+  const std::size_t n = 1u << 14;
+  const std::size_t m = smoke ? (1u << 14) : (1u << 17);
+  rt::GlobalArray<double> target(runtime, n, arch::MemClass::kFarShared,
+                                 "bench.scatter");
+  sim::Rng rng(99);
+  std::vector<std::int32_t> idx(m);
+  std::vector<double> val(m, 1.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    idx[k] = static_cast<std::int32_t>(rng.below(n));
+  }
+  lib::scatter_add(runtime, target, idx, val, 16, rt::Placement::kUniform,
+                   lib::ScatterStrategy::kPrivate);
+  return seal(runtime);
+}
+
+Measurement bench_nbody(rt::ConductorBackend be, bool smoke) {
+  rt::Runtime runtime(arch::Topology{.nodes = 1}, arch::CostModel{}, be);
+  nbody::NbodyConfig cfg;
+  cfg.n = smoke ? 256 : 1024;
+  cfg.steps = 2;
+  nbody::NbodyShared nb(runtime, cfg, 8, rt::Placement::kHighLocality);
+  runtime.run([&] { nb.run(); });
+  return seal(runtime);
+}
+
+struct BenchDef {
+  const char* name;
+  Measurement (*fn)(rt::ConductorBackend, bool);
+};
+
+constexpr BenchDef kBenches[] = {
+    {"scheduling", bench_scheduling},
+    {"psort", bench_psort},
+    {"scatter", bench_scatter},
+    {"nbody", bench_nbody},
+};
+
+// --- harness ---------------------------------------------------------------
+
+const char* backend_name(rt::ConductorBackend be) {
+  return be == rt::ConductorBackend::kFibers ? "fibers" : "threads";
+}
+
+struct RunRecord {
+  rt::ConductorBackend backend;
+  std::uint64_t wall_ns = 0;
+  Measurement m;
+};
+
+RunRecord timed_run(const BenchDef& b, rt::ConductorBackend be, bool smoke) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Measurement m = b.fn(be, smoke);
+  const auto t1 = std::chrono::steady_clock::now();
+  return {be,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()),
+          m};
+}
+
+std::string json_path(const std::string& dir, const char* bench) {
+  return dir + "/BENCH_" + bench + ".json";
+}
+
+bool write_json(const std::string& dir, const char* bench, bool smoke,
+                const std::vector<RunRecord>& runs) {
+  const std::string path = json_path(dir, bench);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "sppsim-bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  char digest_buf[32];
+  std::snprintf(digest_buf, sizeof digest_buf, "0x%016" PRIx64,
+                runs.front().m.digest);
+  out << "{\n"
+      << "  \"bench\": \"" << bench << "\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"sim_ns\": " << runs.front().m.sim_ns << ",\n"
+      << "  \"digest\": \"" << digest_buf << "\",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    std::snprintf(digest_buf, sizeof digest_buf, "0x%016" PRIx64, r.m.digest);
+    out << "    {\"bench\": \"" << bench << "\", \"backend\": \""
+        << backend_name(r.backend) << "\", \"wall_ns\": " << r.wall_ns
+        << ", \"sim_ns\": " << r.m.sim_ns << ", \"digest\": \"" << digest_buf
+        << "\"}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+/// Minimal extractor for the flat JSON this tool writes: finds the FIRST
+/// occurrence of `"key":` and parses the value with strtoull (base 0, so
+/// quoted "0x..." digests work after skipping the quote).
+bool find_u64(const std::string& text, const std::string& key,
+              std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t p = at + needle.size();
+  while (p < text.size() && (text[p] == ' ' || text[p] == '"')) ++p;
+  if (p >= text.size()) return false;
+  *out = std::strtoull(text.c_str() + p, nullptr, 0);
+  return true;
+}
+
+bool find_bool(const std::string& text, const std::string& key, bool* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  *out = text.compare(at + needle.size(), 5, " true") == 0;
+  return true;
+}
+
+/// Compares this run's canonical sim time + digest against a committed
+/// BENCH_<name>.json.  Wall time is never compared.
+int check_against(const std::string& dir, const char* bench, bool smoke,
+                  const Measurement& m) {
+  const std::string path = json_path(dir, bench);
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "sppsim-bench: no baseline %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  bool base_smoke = false;
+  std::uint64_t base_sim = 0;
+  std::uint64_t base_digest = 0;
+  if (!find_bool(text, "smoke", &base_smoke) ||
+      !find_u64(text, "sim_ns", &base_sim) ||
+      !find_u64(text, "digest", &base_digest)) {
+    std::fprintf(stderr, "sppsim-bench: malformed baseline %s\n",
+                 path.c_str());
+    return 2;
+  }
+  if (base_smoke != smoke) {
+    std::fprintf(stderr,
+                 "sppsim-bench: %s baseline is a %s run but this is a %s "
+                 "run; sizes differ\n",
+                 bench, base_smoke ? "smoke" : "full",
+                 smoke ? "smoke" : "full");
+    return 2;
+  }
+  if (base_sim != m.sim_ns || base_digest != m.digest) {
+    std::fprintf(stderr,
+                 "sppsim-bench: %s DIVERGES from baseline: sim_ns %" PRIu64
+                 " vs %" PRIu64 ", digest 0x%016" PRIx64 " vs 0x%016" PRIx64
+                 "\n",
+                 bench, static_cast<std::uint64_t>(m.sim_ns), base_sim,
+                 m.digest, base_digest);
+    return 1;
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sppsim-bench [--smoke] [--backend threads|fibers|both]\n"
+      "                    [--bench NAME]... [--out DIR | --check DIR]\n"
+      "\n"
+      "Benches: scheduling psort scatter nbody (default: all).\n"
+      "--backend both runs each bench under both conductor backends and\n"
+      "fails if simulated time or the counter digest differ.  --out writes\n"
+      "BENCH_<name>.json baselines; --check compares against committed\n"
+      "ones (sim time + digest only; wall time is informational).\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string backend = "both";
+  std::string out_dir = ".";
+  std::string check_dir;
+  bool checking = false;
+  std::vector<std::string> only;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--backend") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      backend = v;
+    } else if (arg == "--bench") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      only.emplace_back(v);
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      out_dir = v;
+    } else if (arg == "--check") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      check_dir = v;
+      checking = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::vector<rt::ConductorBackend> backends;
+  if (backend == "threads") {
+    backends = {rt::ConductorBackend::kThreads};
+  } else if (backend == "fibers") {
+    if (!rt::fibers_available()) {
+      std::fprintf(stderr,
+                   "sppsim-bench: fiber backend unavailable in this build\n");
+      return 2;
+    }
+    backends = {rt::ConductorBackend::kFibers};
+  } else if (backend == "both") {
+    if (rt::fibers_available()) {
+      backends = {rt::ConductorBackend::kFibers,
+                  rt::ConductorBackend::kThreads};
+    } else {
+      std::fprintf(stderr,
+                   "sppsim-bench: fiber backend unavailable; running the "
+                   "OS-thread backend only\n");
+      backends = {rt::ConductorBackend::kThreads};
+    }
+  } else {
+    return usage();
+  }
+
+  std::printf("%-12s %10s | %12s %18s | per-backend wall ms\n", "bench",
+              "mode", "sim_ms", "digest");
+  int rc = 0;
+  for (const BenchDef& b : kBenches) {
+    if (!only.empty()) {
+      bool wanted = false;
+      for (const std::string& name : only) wanted = wanted || name == b.name;
+      if (!wanted) continue;
+    }
+
+    std::vector<RunRecord> runs;
+    for (const rt::ConductorBackend be : backends) {
+      runs.push_back(timed_run(b, be, smoke));
+    }
+    const Measurement canon = runs.front().m;
+    for (const RunRecord& r : runs) {
+      if (r.m.sim_ns != canon.sim_ns || r.m.digest != canon.digest) {
+        std::fprintf(stderr,
+                     "sppsim-bench: %s BACKEND DIVERGENCE: %s got sim_ns "
+                     "%" PRIu64 " digest 0x%016" PRIx64 ", %s got sim_ns "
+                     "%" PRIu64 " digest 0x%016" PRIx64 "\n",
+                     b.name, backend_name(runs.front().backend),
+                     static_cast<std::uint64_t>(canon.sim_ns), canon.digest,
+                     backend_name(r.backend),
+                     static_cast<std::uint64_t>(r.m.sim_ns), r.m.digest);
+        rc = 1;
+      }
+    }
+
+    std::printf("%-12s %10s | %12.3f 0x%016" PRIx64 " |", b.name,
+                smoke ? "smoke" : "full",
+                static_cast<double>(canon.sim_ns) / 1e6, canon.digest);
+    for (const RunRecord& r : runs) {
+      std::printf(" %s=%.1f", backend_name(r.backend),
+                  static_cast<double>(r.wall_ns) / 1e6);
+    }
+    if (runs.size() == 2 && runs[1].wall_ns > 0 && runs[0].wall_ns > 0) {
+      std::printf(" (%.2fx)", static_cast<double>(runs[1].wall_ns) /
+                                  static_cast<double>(runs[0].wall_ns));
+    }
+    std::printf("\n");
+
+    if (checking) {
+      const int c = check_against(check_dir, b.name, smoke, canon);
+      if (c != 0 && (rc == 0 || c == 1)) rc = (rc == 0) ? c : rc;
+    } else {
+      if (!write_json(out_dir, b.name, smoke, runs)) rc = 2;
+    }
+  }
+  return rc;
+}
