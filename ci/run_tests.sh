@@ -13,6 +13,11 @@
 # backends: it fails only on simulated-time or counter-digest divergence
 # (docs/PERFORMANCE.md), never on wall-clock numbers.
 #
+# The sanitized leg also runs a kill-resume smoke (docs/RECOVERY.md):
+# nbody runs with durable on-disk checkpoints (--ckpt-dir), is SIGKILLed
+# mid-run, and a --resume run must reproduce the digest of an
+# uninterrupted run bit-for-bit.
+#
 # Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only|--bench-smoke]
 set -euo pipefail
 
@@ -40,12 +45,49 @@ survive_smoke() {
   "$builddir/tools/sppsim-explore" chaos --nodes 2 --rounds 64
 }
 
+# Kill-resume smoke: a durable nbody run is SIGKILLed after two epoch
+# writes; restarting with --resume must reach the digest of the same run
+# left uninterrupted.  Exercises the on-disk checkpoint format end to end
+# (write, crash, validate, reload) under asan.
+kill_resume_smoke() {
+  local builddir="$1"
+  echo "=== tier-1: kill-resume smoke ($builddir) ==="
+  local explore="$builddir/tools/sppsim-explore"
+  local d
+  d="$(mktemp -d)"
+  trap 'rm -rf "$d"' RETURN
+
+  local want got
+  want="$("$explore" run --app nbody --ckpt-dir "$d/base" --ckpt-interval 2 \
+    | grep '^digest:')"
+
+  # The killed run must die by SIGKILL (exit 137), not finish or fail.
+  local rc=0
+  "$explore" run --app nbody --ckpt-dir "$d/kill" --ckpt-interval 2 \
+    --kill-after-writes 2 || rc=$?
+  if [[ "$rc" -ne 137 ]]; then
+    echo "kill-resume smoke: expected SIGKILL (137), got exit $rc" >&2
+    return 1
+  fi
+
+  got="$("$explore" run --app nbody --ckpt-dir "$d/kill" --ckpt-interval 2 \
+    --resume | grep '^digest:')"
+  if [[ "$got" != "$want" ]]; then
+    echo "kill-resume smoke: digest mismatch after resume" >&2
+    echo "  uninterrupted: $want" >&2
+    echo "  resumed:       $got" >&2
+    return 1
+  fi
+  echo "kill-resume smoke: resumed $got matches uninterrupted run"
+}
+
 if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
   echo "=== tier-1: address,undefined sanitized build ==="
   run_suite build-asan \
     -DSPP_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   survive_smoke build-asan
+  kill_resume_smoke build-asan
 fi
 
 if [[ "$MODE" == "--survive-only" ]]; then
@@ -54,6 +96,7 @@ if [[ "$MODE" == "--survive-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j "$JOBS" --target sppsim-explore
   survive_smoke build-asan
+  kill_resume_smoke build-asan
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then

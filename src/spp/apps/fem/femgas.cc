@@ -312,4 +312,50 @@ FemResult FemGas::run() {
   return res;
 }
 
+FemResult FemGas::run_durable(const ckpt::DurableSpec& spec) {
+  FemResult res;
+  res.initial = diagnostics();
+  rt_.machine().reset_stats();
+  const sim::Time t0 = rt_.now();
+
+  // The point state u_ is the only step-to-step state (dt_ and the residual
+  // scratch are recomputed every step), so the durable region set is just
+  // the in-memory recovery loop's.
+  ckpt::Store store(rt_);
+  store.registrar().add("fem.u", *u_);
+
+  ckpt::DurableSession session(rt_, store, spec);
+  std::uint64_t step = session.begin();
+
+  while (session.boundary(step) && step < cfg_.steps) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(step + session.interval(), cfg_.steps);
+    rt_.parallel(nthreads_, placement_, [&](unsigned tid, unsigned n) {
+      for (std::uint64_t s = step; s < end; ++s) {
+        const double dt = wave_speed_phase(tid, n);
+        if (cfg_.coding == Coding::kStoreResiduals) {
+          element_phase(tid, n);
+        } else {
+          copy_state_phase(tid, n);
+        }
+        barrier_->wait();
+        point_phase(tid, n, dt);
+        barrier_->wait();
+      }
+    });
+    step = end;
+  }
+
+  res.sim_time = rt_.now() - t0;
+  const auto total = rt_.machine().perf().total();
+  res.flops = total.flops;
+  res.point_updates =
+      static_cast<double>(mesh_.num_points()) * cfg_.steps;
+  res.updates_per_usec = res.point_updates / sim::to_usec(res.sim_time);
+  res.mflops = res.point_updates * kFlopsPerPointUpdate /
+               (sim::to_seconds(res.sim_time) * 1e6);
+  res.final = diagnostics();
+  return res;
+}
+
 }  // namespace spp::fem

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "spp/apps/fem/mesh.h"
+#include "spp/ckpt/durable.h"
 #include "spp/rt/garray.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/sync.h"
@@ -92,6 +93,13 @@ class FemGas {
   void init_blast(double p_peak, double radius);
 
   FemResult run();
+
+  /// Durable variant of run(): epoch-sized chunks under a
+  /// ckpt::DurableSession (capture + disk commit + machine power-cycle at
+  /// every boundary; docs/RECOVERY.md).  With spec.resume the run continues
+  /// from the newest valid disk epoch and reaches the same final digest as
+  /// an uninterrupted durable run.
+  FemResult run_durable(const ckpt::DurableSpec& spec);
 
   FemDiagnostics diagnostics() const;
 

@@ -446,4 +446,62 @@ NbodyResult NbodyShared::run() {
   return res;
 }
 
+NbodyResult NbodyShared::run_durable(const ckpt::DurableSpec& spec) {
+  NbodyResult res;
+  rt_.machine().reset_stats();
+  interactions_ = 0;
+  res.initial = diagnostics();
+  const sim::Time t0 = rt_.now();
+
+  // Host-side running totals that must survive a host kill: checkpointed as
+  // a POD region alongside the particle state.
+  struct Tally {
+    std::uint64_t interactions = 0;
+    sim::Time force_time = 0;
+  };
+  Tally tally;
+
+  ckpt::Store store(rt_);
+  store.registrar().add("nbody.px", *px_);
+  store.registrar().add("nbody.py", *py_);
+  store.registrar().add("nbody.pz", *pz_);
+  store.registrar().add("nbody.vx", *vx_);
+  store.registrar().add("nbody.vy", *vy_);
+  store.registrar().add("nbody.vz", *vz_);
+  store.registrar().add_pod("nbody.tally", tally);
+
+  ckpt::DurableSession session(rt_, store, spec);
+  std::uint64_t step = session.begin();
+  interactions_ = tally.interactions;  // restored on resume, else still 0.
+
+  for (;;) {
+    tally.interactions = interactions_;
+    if (!session.boundary(step) || step >= cfg_.steps) break;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(step + session.interval(), cfg_.steps);
+    rt_.parallel(nthreads_, placement_, [&](unsigned tid, unsigned n) {
+      for (std::uint64_t s = step; s < end; ++s) {
+        if (tid == 0) build_tree();
+        barrier_->wait();
+        const sim::Time f0 = rt_.now();
+        force_phase(tid, n);
+        barrier_->wait();
+        if (tid == 0) tally.force_time += rt_.now() - f0;
+        push_phase(tid, n);
+        barrier_->wait();
+      }
+    });
+    step = end;
+  }
+
+  res.sim_time = rt_.now() - t0;
+  res.force_time = tally.force_time;
+  const auto total = rt_.machine().perf().total();
+  res.flops = total.flops;
+  res.mflops = res.flops / (sim::to_seconds(res.sim_time) * 1e6);
+  res.interactions = interactions_;
+  res.final = diagnostics();
+  return res;
+}
+
 }  // namespace spp::nbody

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "spp/ckpt/durable.h"
 #include "spp/rt/garray.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/sync.h"
@@ -84,6 +85,13 @@ class NbodyShared {
   void load_collision(double separation, double approach_speed);
 
   NbodyResult run();
+
+  /// Durable variant of run(): executes the time loop in epoch-sized chunks
+  /// under a ckpt::DurableSession (capture + disk commit + machine
+  /// power-cycle between chunks; docs/RECOVERY.md).  `spec` must be enabled.
+  /// With spec.resume the run continues from the newest valid disk epoch and
+  /// reaches the same final digest as an uninterrupted durable run.
+  NbodyResult run_durable(const ckpt::DurableSpec& spec);
 
   /// Direct O(N^2) force on particle `i` (verification; uncharged).
   std::array<double, 3> direct_force(std::size_t i) const;

@@ -137,6 +137,43 @@ struct HostTree {
   }
 };
 
+/// The deterministic Plummer load shared by run() and run_durable():
+/// identical to NbodyShared's, streamed into host mirror vectors.
+void load_plummer_host(const NbodyConfig& cfg, std::vector<double>& gx,
+                       std::vector<double>& gy, std::vector<double>& gz,
+                       std::vector<double>& gvx, std::vector<double>& gvy,
+                       std::vector<double>& gvz, std::vector<double>& gm) {
+  const std::size_t n = cfg.n;
+  sim::Rng rng(cfg.seed);
+  double mvx = 0, mvy = 0, mvz = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double r;
+    do {
+      const double u = std::max(rng.next_double(), 1e-10);
+      r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    } while (r > 8.0);
+    const double ct = rng.uniform(-1, 1);
+    const double st = std::sqrt(std::max(0.0, 1 - ct * ct));
+    const double phi = rng.uniform(0, 2 * std::numbers::pi);
+    gx[i] = r * st * std::cos(phi);
+    gy[i] = r * st * std::sin(phi);
+    gz[i] = r * ct;
+    const double sigma = std::sqrt(1.0 / (6.0 * std::sqrt(1.0 + r * r)));
+    gvx[i] = rng.gaussian(0, sigma);
+    gvy[i] = rng.gaussian(0, sigma);
+    gvz[i] = rng.gaussian(0, sigma);
+    mvx += gvx[i];
+    mvy += gvy[i];
+    mvz += gvz[i];
+    gm[i] = 1.0 / static_cast<double>(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    gvx[i] -= mvx / static_cast<double>(n);
+    gvy[i] -= mvy / static_cast<double>(n);
+    gvz[i] -= mvz / static_cast<double>(n);
+  }
+}
+
 }  // namespace
 
 NbodyPvm::NbodyPvm(rt::Runtime& rt, const NbodyConfig& cfg, unsigned ntasks,
@@ -158,36 +195,7 @@ NbodyResult NbodyPvm::run() {
   // post-shrink rank 0 redistributes from.  Masses are constant (1/n), so
   // slices re-derive them from gm instead of checkpointing them.
   std::vector<double> gx(n), gy(n), gz(n), gvx(n), gvy(n), gvz(n), gm(n);
-  {
-    sim::Rng rng(cfg_.seed);
-    double mvx = 0, mvy = 0, mvz = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double r;
-      do {
-        const double u = std::max(rng.next_double(), 1e-10);
-        r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
-      } while (r > 8.0);
-      const double ct = rng.uniform(-1, 1);
-      const double st = std::sqrt(std::max(0.0, 1 - ct * ct));
-      const double phi = rng.uniform(0, 2 * std::numbers::pi);
-      gx[i] = r * st * std::cos(phi);
-      gy[i] = r * st * std::sin(phi);
-      gz[i] = r * ct;
-      const double sigma = std::sqrt(1.0 / (6.0 * std::sqrt(1.0 + r * r)));
-      gvx[i] = rng.gaussian(0, sigma);
-      gvy[i] = rng.gaussian(0, sigma);
-      gvz[i] = rng.gaussian(0, sigma);
-      mvx += gvx[i];
-      mvy += gvy[i];
-      mvz += gvz[i];
-      gm[i] = 1.0 / static_cast<double>(n);
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      gvx[i] -= mvx / static_cast<double>(n);
-      gvy[i] -= mvy / static_cast<double>(n);
-      gvz[i] -= mvz / static_cast<double>(n);
-    }
-  }
+  load_plummer_host(cfg_, gx, gy, gz, gvx, gvy, gvz, gm);
 
   pvm::Pvm root(rt_);
   std::uint64_t interactions = 0;
@@ -509,6 +517,271 @@ NbodyResult NbodyPvm::run() {
   res.final.px = fin_px;
   res.final.py = fin_py;
   res.final.pz = fin_pz;
+  res.final.mass = 1.0;
+  return res;
+}
+
+NbodyResult NbodyPvm::run_durable(const ckpt::DurableSpec& spec) {
+  NbodyResult res;
+  rt_.machine().reset_stats();
+  const std::size_t n = cfg_.n;
+  const sim::Time t0 = rt_.now();
+
+  // The host mirrors double as the durable region set: every chunk ends
+  // with a charged slice gather back into them, so each boundary capture
+  // (and the disk epoch committed from it) holds the current particle
+  // state.
+  std::vector<double> gx(n), gy(n), gz(n), gvx(n), gvy(n), gvz(n), gm(n);
+  load_plummer_host(cfg_, gx, gy, gz, gvx, gvy, gvz, gm);
+
+  pvm::Pvm root(rt_);
+
+  // Host-side running results shared by the tasks (one SThread runs at a
+  // time, so unsynchronized host increments are safe and deterministic).
+  struct Tally {
+    std::uint64_t interactions = 0;
+    double fin_kin = 0, fin_px = 0, fin_py = 0, fin_pz = 0;
+  };
+  Tally tally;
+
+  ckpt::Store store(rt_);
+  store.registrar().add_host("nbpvm.px", gx);
+  store.registrar().add_host("nbpvm.py", gy);
+  store.registrar().add_host("nbpvm.pz", gz);
+  store.registrar().add_host("nbpvm.vx", gvx);
+  store.registrar().add_host("nbpvm.vy", gvy);
+  store.registrar().add_host("nbpvm.vz", gvz);
+  store.registrar().add_pod("nbpvm.tally", tally);
+
+  // Per-task tree windows, hoisted out of the tasks: allocating them once
+  // before the chunk loop keeps the simulated address layout independent of
+  // how many chunks (or resumes) the run is divided into.  Homed exactly
+  // where the in-task allocation would land them.
+  std::vector<std::unique_ptr<rt::GlobalArray<double>>> tree_windows;
+  tree_windows.reserve(ntasks_);
+  for (unsigned t = 0; t < ntasks_; ++t) {
+    const unsigned node =
+        rt_.topo().node_of_cpu(rt_.place_cpu(t, ntasks_, placement_));
+    tree_windows.push_back(std::make_unique<rt::GlobalArray<double>>(
+        rt_, (2 * n + 64) * 6, arch::MemClass::kNearShared, "nbpvm.tree",
+        node));
+  }
+
+  ckpt::DurableSession session(rt_, store, spec);
+  std::uint64_t step = session.begin();
+
+  while (session.boundary(step) && step < cfg_.steps) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(step + session.interval(), cfg_.steps);
+    root.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
+      rt::Runtime& rt = vm.runtime();
+      pvm::Group g(vm);
+      const auto [pb, pe] = split(n, static_cast<unsigned>(ntasks),
+                                  static_cast<unsigned>(me));
+      const std::size_t mine = pe - pb;
+
+      // Task-private slice, seeded from the mirror (epoch state).
+      std::vector<double> x(gx.begin() + pb, gx.begin() + pe);
+      std::vector<double> y(gy.begin() + pb, gy.begin() + pe);
+      std::vector<double> z(gz.begin() + pb, gz.begin() + pe);
+      std::vector<double> vx(gvx.begin() + pb, gvx.begin() + pe);
+      std::vector<double> vy(gvy.begin() + pb, gvy.begin() + pe);
+      std::vector<double> vz(gvz.begin() + pb, gvz.begin() + pe);
+      std::vector<double> mass(gm.begin() + pb, gm.begin() + pe);
+      rt::GlobalArray<double>& tree_window = *tree_windows[me];
+
+      std::vector<double> ax(n), ay(n), az(n), am(n);
+      HostTree tree;
+
+      for (std::uint64_t s = step; s < end; ++s) {
+        // ---- gather all positions on task 0 ------------------------------
+        if (me == 0) {
+          std::copy(x.begin(), x.end(), ax.begin() + pb);
+          std::copy(y.begin(), y.end(), ay.begin() + pb);
+          std::copy(z.begin(), z.end(), az.begin() + pb);
+          std::copy(mass.begin(), mass.end(), am.begin() + pb);
+          for (int t = 1; t < ntasks; ++t) {
+            pvm::Message m = vm.recv(-1, kTagGather);
+            const auto rr = static_cast<unsigned>(g.rank_of(m.sender));
+            const auto [tb, te] =
+                split(n, static_cast<unsigned>(ntasks), rr);
+            m.unpack(&ax[tb], te - tb);
+            m.unpack(&ay[tb], te - tb);
+            m.unpack(&az[tb], te - tb);
+            m.unpack(&am[tb], te - tb);
+          }
+          tree.build(ax, ay, az, am, cfg_.leaf_capacity);
+          rt.work_flops(10.0 * static_cast<double>(n) *
+                        std::log2(std::max<double>(2.0, double(n))));
+          tree_window.touch_range(0, tree.nodes.size() * 6, true);
+
+          for (int t = 1; t < ntasks; ++t) {
+            pvm::Message m;
+            const auto nn = static_cast<std::int64_t>(tree.nodes.size());
+            m.pack(&nn, 1);
+            m.pack(reinterpret_cast<const double*>(tree.nodes.data()),
+                   tree.nodes.size() * sizeof(TreeNode) / sizeof(double));
+            m.pack(tree.order.data(), tree.order.size());
+            m.pack(ax.data(), n);
+            m.pack(ay.data(), n);
+            m.pack(az.data(), n);
+            m.pack(am.data(), n);
+            vm.send(g.tid_of(t), kTagTree, std::move(m));
+          }
+        } else {
+          pvm::Message m;
+          m.pack(x.data(), mine);
+          m.pack(y.data(), mine);
+          m.pack(z.data(), mine);
+          m.pack(mass.data(), mine);
+          vm.send(g.tid_of(0), kTagGather, std::move(m));
+
+          pvm::Message t = vm.recv(g.tid_of(0), kTagTree);
+          std::int64_t nn = 0;
+          t.unpack(&nn, 1);
+          tree.nodes.resize(static_cast<std::size_t>(nn));
+          t.unpack(reinterpret_cast<double*>(tree.nodes.data()),
+                   tree.nodes.size() * sizeof(TreeNode) / sizeof(double));
+          tree.order.resize(n);
+          t.unpack(tree.order.data(), n);
+          t.unpack(ax.data(), n);
+          t.unpack(ay.data(), n);
+          t.unpack(az.data(), n);
+          t.unpack(am.data(), n);
+        }
+
+        // ---- force + push on the private slice ---------------------------
+        const double eps2 = cfg_.eps * cfg_.eps;
+        const double th2 = cfg_.theta * cfg_.theta;
+        for (std::size_t q = 0; q < mine; ++q) {
+          const double xi = x[q], yi = y[q], zi = z[q];
+          double fx = 0, fy = 0, fz = 0;
+          std::int32_t stack[512];
+          int top = 0;
+          stack[top++] = 0;
+          while (top > 0) {
+            const TreeNode& nd = tree.nodes[stack[--top]];
+            rt.read(
+                tree_window.vaddr(
+                    (static_cast<std::size_t>(&nd - tree.nodes.data())) * 6),
+                48);
+            rt.work_flops(kNodeVisitFlops);
+            const double dx = nd.mx - xi, dy = nd.my - yi, dz = nd.mz - zi;
+            const double d2 = dx * dx + dy * dy + dz * dz;
+            const double size = 2 * nd.half;
+            if (nd.count < 0 && size * size > th2 * d2) {
+              for (int o = 0; o < 8; ++o) {
+                if (nd.child[o] >= 0) stack[top++] = nd.child[o];
+              }
+              continue;
+            }
+            if (nd.count < 0) {
+              const double r2 = d2 + eps2;
+              const double inv = 1.0 / (r2 * std::sqrt(r2));
+              fx += nd.mass * dx * inv;
+              fy += nd.mass * dy * inv;
+              fz += nd.mass * dz * inv;
+              rt.work_flops(kInteractFlops);
+              ++tally.interactions;
+              continue;
+            }
+            for (std::int32_t k = nd.first; k < nd.first + nd.count; ++k) {
+              const auto p = static_cast<std::size_t>(tree.order[k]);
+              if (p == pb + q) continue;
+              const double ddx = ax[p] - xi, ddy = ay[p] - yi,
+                           ddz = az[p] - zi;
+              const double r2 = ddx * ddx + ddy * ddy + ddz * ddz + eps2;
+              const double inv = 1.0 / (r2 * std::sqrt(r2));
+              fx += am[p] * ddx * inv;
+              fy += am[p] * ddy * inv;
+              fz += am[p] * ddz * inv;
+              rt.work_flops(kInteractFlops);
+              ++tally.interactions;
+            }
+          }
+          vx[q] += cfg_.dt * fx;
+          vy[q] += cfg_.dt * fy;
+          vz[q] += cfg_.dt * fz;
+          x[q] += cfg_.dt * vx[q];
+          y[q] += cfg_.dt * vy[q];
+          z[q] += cfg_.dt * vz[q];
+          rt.work_flops(kPushFlops);
+        }
+      }
+
+      // ---- chunk end: slices back to the mirror (charged messages) -------
+      if (me == 0) {
+        std::copy(x.begin(), x.end(), gx.begin() + pb);
+        std::copy(y.begin(), y.end(), gy.begin() + pb);
+        std::copy(z.begin(), z.end(), gz.begin() + pb);
+        std::copy(vx.begin(), vx.end(), gvx.begin() + pb);
+        std::copy(vy.begin(), vy.end(), gvy.begin() + pb);
+        std::copy(vz.begin(), vz.end(), gvz.begin() + pb);
+        for (int r = 1; r < ntasks; ++r) {
+          pvm::Message m = vm.recv(-1, kTagCkpt);
+          const auto rr = static_cast<unsigned>(g.rank_of(m.sender));
+          const auto [sb, se] = split(n, static_cast<unsigned>(ntasks), rr);
+          m.unpack(gx.data() + sb, se - sb);
+          m.unpack(gy.data() + sb, se - sb);
+          m.unpack(gz.data() + sb, se - sb);
+          m.unpack(gvx.data() + sb, se - sb);
+          m.unpack(gvy.data() + sb, se - sb);
+          m.unpack(gvz.data() + sb, se - sb);
+        }
+      } else {
+        pvm::Message m;
+        m.pack(x.data(), mine);
+        m.pack(y.data(), mine);
+        m.pack(z.data(), mine);
+        m.pack(vx.data(), mine);
+        m.pack(vy.data(), mine);
+        m.pack(vz.data(), mine);
+        vm.send(g.tid_of(0), kTagCkpt, std::move(m));
+      }
+
+      // ---- final diagnostics, last chunk only ----------------------------
+      if (end == cfg_.steps) {
+        double local[4] = {0, 0, 0, 0};
+        for (std::size_t q = 0; q < mine; ++q) {
+          local[0] += 0.5 * mass[q] *
+                      (vx[q] * vx[q] + vy[q] * vy[q] + vz[q] * vz[q]);
+          local[1] += mass[q] * vx[q];
+          local[2] += mass[q] * vy[q];
+          local[3] += mass[q] * vz[q];
+        }
+        if (me == 0) {
+          tally.fin_kin = local[0];
+          tally.fin_px = local[1];
+          tally.fin_py = local[2];
+          tally.fin_pz = local[3];
+          for (int t = 1; t < ntasks; ++t) {
+            pvm::Message m = vm.recv(-1, kTagDiag);
+            double other[4];
+            m.unpack(other, 4);
+            tally.fin_kin += other[0];
+            tally.fin_px += other[1];
+            tally.fin_py += other[2];
+            tally.fin_pz += other[3];
+          }
+        } else {
+          pvm::Message m;
+          m.pack(local, 4);
+          vm.send(g.tid_of(0), kTagDiag, std::move(m));
+        }
+      }
+    });
+    step = end;
+  }
+
+  res.sim_time = rt_.now() - t0;
+  const auto total = rt_.machine().perf().total();
+  res.flops = total.flops;
+  res.mflops = res.flops / (sim::to_seconds(res.sim_time) * 1e6);
+  res.interactions = tally.interactions;
+  res.final.kinetic = tally.fin_kin;
+  res.final.px = tally.fin_px;
+  res.final.py = tally.fin_py;
+  res.final.pz = tally.fin_pz;
   res.final.mass = 1.0;
   return res;
 }

@@ -35,6 +35,14 @@ class NbodyPvm {
   /// Loads the same deterministic Plummer sphere as NbodyShared.
   NbodyResult run();
 
+  /// Durable variant of run(): one pvm spawn per epoch-sized chunk, slices
+  /// gathered back to the host mirror at every chunk end so each boundary's
+  /// ckpt::Store capture (and disk commit) sees the current particle state
+  /// (docs/RECOVERY.md).  With spec.resume the run continues from the newest
+  /// valid disk epoch and reaches the same final digest as an uninterrupted
+  /// durable run.
+  NbodyResult run_durable(const ckpt::DurableSpec& spec);
+
  private:
   rt::Runtime& rt_;
   NbodyConfig cfg_;

@@ -482,4 +482,75 @@ PicResult PicShared::run() {
   return res;
 }
 
+PicResult PicShared::run_durable(const ckpt::DurableSpec& spec) {
+  PicResult res;
+  rt_.machine().reset_stats();
+  const sim::Time t0 = rt_.now();
+
+  // Host-side running results that must survive a host kill: phase times,
+  // the step-0 diagnostics, and the per-step field-energy history.  The
+  // history buffer is fixed-size (count + pre-sized vector) so the durable
+  // region set never changes size between epochs.
+  struct Tally {
+    sim::Time phase_time[4] = {0, 0, 0, 0};
+    PicDiagnostics initial;
+    std::uint64_t history_count = 0;
+  };
+  Tally tally;
+  std::vector<double> history(cfg_.steps, 0.0);
+
+  ckpt::Store store(rt_);
+  store.registrar().add("pic.px", *px_);
+  store.registrar().add("pic.py", *py_);
+  store.registrar().add("pic.pz", *pz_);
+  store.registrar().add("pic.vx", *vx_);
+  store.registrar().add("pic.vy", *vy_);
+  store.registrar().add("pic.vz", *vz_);
+  store.registrar().add_pod("pic.tally", tally);
+  store.registrar().add_host("pic.history", history);
+
+  ckpt::DurableSession session(rt_, store, spec);
+  std::uint64_t step = session.begin();
+
+  while (session.boundary(step) && step < cfg_.steps) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(step + session.interval(), cfg_.steps);
+    rt_.parallel(nthreads_, placement_, [&](unsigned tid, unsigned n) {
+      for (std::uint64_t s = step; s < end; ++s) {
+        sim::Time p0 = rt_.now();
+        deposit(tid, n);
+        barrier_->wait();
+        if (tid == 0) tally.phase_time[0] += rt_.now() - p0, p0 = rt_.now();
+        reduce_charge(tid, n);
+        barrier_->wait();
+        if (tid == 0) tally.phase_time[1] += rt_.now() - p0, p0 = rt_.now();
+        solve_fields(tid, n);
+        if (tid == 0) tally.phase_time[2] += rt_.now() - p0, p0 = rt_.now();
+        gather_push(tid, n);
+        barrier_->wait();
+        if (tid == 0) tally.phase_time[3] += rt_.now() - p0;
+        if (tid == 0) {
+          PicDiagnostics d = diagnostics();
+          history[tally.history_count++] = d.field_energy;
+          if (s == 0) tally.initial = d;
+        }
+        barrier_->wait();
+      }
+    });
+    step = end;
+  }
+
+  res.sim_time = rt_.now() - t0;
+  res.final = diagnostics();
+  const auto total = rt_.machine().perf().total();
+  res.flops = total.flops;
+  res.mflops = res.flops / (sim::to_seconds(res.sim_time) * 1e6);
+  for (int i = 0; i < 4; ++i) res.phase_time[i] = tally.phase_time[i];
+  res.initial = tally.initial;
+  res.field_energy_history.assign(
+      history.begin(),
+      history.begin() + static_cast<std::ptrdiff_t>(tally.history_count));
+  return res;
+}
+
 }  // namespace spp::pic

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "spp/ckpt/durable.h"
 #include "spp/rt/garray.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/sync.h"
@@ -85,6 +86,14 @@ class PicShared {
 
   /// Runs cfg.steps timesteps inside the current Runtime::run context.
   PicResult run();
+
+  /// Durable variant of run(): epoch-sized chunks under a
+  /// ckpt::DurableSession (capture + disk commit + machine power-cycle at
+  /// every boundary; docs/RECOVERY.md).  Host-side running results --
+  /// per-phase times, initial diagnostics, the field-energy history -- are
+  /// checkpointed alongside the particles so a resumed run reports the same
+  /// result and reaches the same final digest as an uninterrupted one.
+  PicResult run_durable(const ckpt::DurableSpec& spec);
 
   /// Diagnostics of the current particle/field state (uncharged).
   PicDiagnostics diagnostics() const;

@@ -45,6 +45,47 @@ struct TaskState {
   std::unique_ptr<rt::GlobalArray<double>> part_window;   ///< 6 particle arrays.
 };
 
+/// Deterministic global particle load, identical to PicShared: generate the
+/// full stream and keep [b, e).
+void generate_initial_particles(const PicConfig& cfg, double* px, double* py,
+                                double* pz, double* vx, double* vy, double* vz,
+                                std::size_t b, std::size_t e) {
+  const std::size_t nx = cfg.nx, ny = cfg.ny, nz = cfg.nz;
+  sim::Rng rng(cfg.seed);
+  std::size_t p = 0;
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        for (unsigned k = 0; k < cfg.plasma_per_cell + cfg.beam_per_cell;
+             ++k, ++p) {
+          const bool beam = k >= cfg.plasma_per_cell;
+          const double x = static_cast<double>(ix) + rng.next_double();
+          const double y = static_cast<double>(iy) + rng.next_double();
+          const double z = static_cast<double>(iz) + rng.next_double();
+          double vxp, vyp, vzp;
+          if (beam) {
+            vxp = vyp = 0;
+            vzp = cfg.beam_velocity * cfg.vth;
+          } else {
+            vxp = rng.gaussian(0, cfg.vth);
+            vyp = rng.gaussian(0, cfg.vth);
+            vzp = rng.gaussian(0, cfg.vth);
+          }
+          if (p >= b && p < e) {
+            const std::size_t q = p - b;
+            px[q] = x;
+            py[q] = y;
+            pz[q] = z;
+            vx[q] = vxp;
+            vy[q] = vyp;
+            vz[q] = vzp;
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 PicPvm::PicPvm(rt::Runtime& rt, const PicConfig& cfg, unsigned ntasks,
@@ -66,44 +107,10 @@ PicResult PicPvm::run() {
          final_charge = 0;
   std::vector<double> field_history;
 
-  // Deterministic global particle load, identical to PicShared: generate the
-  // full stream and keep [b, e).
   auto generate_initial = [&](double* px, double* py, double* pz, double* vx,
                               double* vy, double* vz, std::size_t b,
                               std::size_t e) {
-    sim::Rng rng(cfg_.seed);
-    std::size_t p = 0;
-    for (std::size_t iz = 0; iz < nz; ++iz) {
-      for (std::size_t iy = 0; iy < ny; ++iy) {
-        for (std::size_t ix = 0; ix < nx; ++ix) {
-          for (unsigned k = 0; k < cfg_.plasma_per_cell + cfg_.beam_per_cell;
-               ++k, ++p) {
-            const bool beam = k >= cfg_.plasma_per_cell;
-            const double x = static_cast<double>(ix) + rng.next_double();
-            const double y = static_cast<double>(iy) + rng.next_double();
-            const double z = static_cast<double>(iz) + rng.next_double();
-            double vxp, vyp, vzp;
-            if (beam) {
-              vxp = vyp = 0;
-              vzp = cfg_.beam_velocity * cfg_.vth;
-            } else {
-              vxp = rng.gaussian(0, cfg_.vth);
-              vyp = rng.gaussian(0, cfg_.vth);
-              vzp = rng.gaussian(0, cfg_.vth);
-            }
-            if (p >= b && p < e) {
-              const std::size_t q = p - b;
-              px[q] = x;
-              py[q] = y;
-              pz[q] = z;
-              vx[q] = vxp;
-              vy[q] = vyp;
-              vz[q] = vzp;
-            }
-          }
-        }
-      }
-    }
+    generate_initial_particles(cfg_, px, py, pz, vx, vy, vz, b, e);
   };
 
   // Recovery state lives at run scope, on the host side, so it survives the
@@ -486,6 +493,330 @@ PicResult PicPvm::run() {
   res.mflops = res.flops / (sim::to_seconds(res.sim_time) * 1e6);
   res.final = {final_kinetic, final_field, final_charge, final_momentum};
   res.field_energy_history = field_history;
+  return res;
+}
+
+PicResult PicPvm::run_durable(const ckpt::DurableSpec& spec) {
+  PicResult res;
+  rt_.machine().reset_stats();
+  const sim::Time t0 = rt_.now();
+  const std::size_t nc = cfg_.cells();
+  const std::size_t np = cfg_.particles();
+  const std::size_t nx = cfg_.nx, ny = cfg_.ny, nz = cfg_.nz;
+
+  pvm::Pvm root(rt_);
+
+  // Host mirrors hold the full particle state as of the last chunk boundary;
+  // they are the durable regions a disk epoch captures and a resume reseeds.
+  std::vector<double> gx(np), gy(np), gz(np), gvx(np), gvy(np), gvz(np);
+  generate_initial_particles(cfg_, gx.data(), gy.data(), gz.data(), gvx.data(),
+                             gvy.data(), gvz.data(), 0, np);
+
+  // Host-side diagnostics must survive a kill too: rank 0 folds them straight
+  // into durable regions (fixed-size history + POD tally; the arena must
+  // never regrow, docs/RECOVERY.md).
+  struct Tally {
+    double final_kinetic = 0, final_momentum = 0, final_field = 0,
+           final_charge = 0;
+    PicDiagnostics initial;
+    std::uint64_t history_count = 0;
+  } tally;
+  std::vector<double> history(cfg_.steps, 0.0);
+
+  ckpt::Store store(rt_);
+  store.registrar().add_host("picpvm.px", gx);
+  store.registrar().add_host("picpvm.py", gy);
+  store.registrar().add_host("picpvm.pz", gz);
+  store.registrar().add_host("picpvm.vx", gvx);
+  store.registrar().add_host("picpvm.vy", gvy);
+  store.registrar().add_host("picpvm.vz", gvz);
+  store.registrar().add_pod("picpvm.tally", tally);
+  store.registrar().add_host("picpvm.history", history);
+
+  // Charged windows are hoisted out of the per-chunk spawns and allocated
+  // once here, homed where each task will run, so the VMem layout is
+  // identical in a fresh and a resumed process.
+  std::vector<std::unique_ptr<rt::GlobalArray<double>>> mesh_windows;
+  std::vector<std::unique_ptr<rt::GlobalArray<double>>> part_windows;
+  for (unsigned t = 0; t < ntasks_; ++t) {
+    const unsigned node =
+        rt_.topo().node_of_cpu(rt_.place_cpu(t, ntasks_, placement_));
+    mesh_windows.push_back(std::make_unique<rt::GlobalArray<double>>(
+        rt_, 4 * nc, arch::MemClass::kNearShared, "picpvm.mesh", node));
+    const auto [sb, se] = split(np, ntasks_, t);
+    part_windows.push_back(std::make_unique<rt::GlobalArray<double>>(
+        rt_, 6 * (se - sb), arch::MemClass::kNearShared, "picpvm.part", node));
+  }
+
+  ckpt::DurableSession session(rt_, store, spec);
+  std::uint64_t step = session.begin();
+
+  while (session.boundary(step) && step < cfg_.steps) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(step + session.interval(), cfg_.steps);
+
+    root.spawn(ntasks_, placement_, [&](pvm::Pvm& vm, int me, int ntasks) {
+      rt::Runtime& rt = vm.runtime();
+      pvm::Group g(vm);
+      std::size_t pb, pe;
+      std::tie(pb, pe) = split(np, static_cast<unsigned>(ntasks),
+                               static_cast<unsigned>(me));
+      const std::size_t my_np = pe - pb;
+
+      TaskState st;
+      st.rho.assign(nc, 0.0);
+      st.ex.assign(nc, 0.0);
+      st.ey.assign(nc, 0.0);
+      st.ez.assign(nc, 0.0);
+      rt::GlobalArray<double>& mesh_window = *mesh_windows[me];
+      rt::GlobalArray<double>& part_window = *part_windows[me];
+
+      // Slices come from the boundary-state mirror (initial load on the
+      // first chunk), the same uncharged host fill as run()'s generator.
+      st.px.assign(gx.begin() + pb, gx.begin() + pe);
+      st.py.assign(gy.begin() + pb, gy.begin() + pe);
+      st.pz.assign(gz.begin() + pb, gz.begin() + pe);
+      st.vx.assign(gvx.begin() + pb, gvx.begin() + pe);
+      st.vy.assign(gvy.begin() + pb, gvy.begin() + pe);
+      st.vz.assign(gvz.begin() + pb, gvz.begin() + pe);
+
+      auto cell_index = [&](std::size_t ix, std::size_t iy, std::size_t iz) {
+        return (iz * ny + iy) * nx + ix;
+      };
+
+      for (std::uint64_t s = step; s < end; ++s) {
+        // ----- deposit on the private mesh ---------------------------------
+        std::fill(st.rho.begin(), st.rho.end(), 0.0);
+        mesh_window.touch_range(0, nc, true);
+        for (std::size_t q = 0; q < my_np; ++q) {
+          const double x = st.px[q], y = st.py[q], z = st.pz[q];
+          rt.read(part_window.vaddr(0 * my_np + q));
+          rt.read(part_window.vaddr(1 * my_np + q));
+          rt.read(part_window.vaddr(2 * my_np + q));
+          const auto ix = static_cast<std::size_t>(x);
+          const auto iy = static_cast<std::size_t>(y);
+          const auto iz = static_cast<std::size_t>(z);
+          const double fx = x - std::floor(x), fy = y - std::floor(y),
+                       fz = z - std::floor(z);
+          const std::size_t ix1 = (ix + 1) % nx, iy1 = (iy + 1) % ny,
+                            iz1 = (iz + 1) % nz;
+          const double wx[2] = {1 - fx, fx}, wy[2] = {1 - fy, fy},
+                       wz[2] = {1 - fz, fz};
+          const std::size_t cx[2] = {ix, ix1}, cy[2] = {iy, iy1},
+                            cz[2] = {iz, iz1};
+          for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+              for (int c = 0; c < 2; ++c) {
+                const std::size_t idx = cell_index(cx[a], cy[b], cz[c]);
+                st.rho[idx] -= wx[a] * wy[b] * wz[c];
+                rt.read(mesh_window.vaddr(idx));
+                rt.write(mesh_window.vaddr(idx));
+              }
+          rt.work_flops(kDepositFlops);
+        }
+
+        // ----- combine on task 0, solve, broadcast E -----------------------
+        if (me == 0) {
+          for (int t = 1; t < ntasks; ++t) {
+            pvm::Message m = vm.recv(-1, kTagRho);
+            std::vector<double> other(nc);
+            m.unpack(other.data(), nc);
+            for (std::size_t c = 0; c < nc; ++c) st.rho[c] += other[c];
+            rt.work_flops(static_cast<double>(nc));
+          }
+          const double bg =
+              static_cast<double>(cfg_.plasma_per_cell + cfg_.beam_per_cell);
+          for (std::size_t c = 0; c < nc; ++c) st.rho[c] += bg;
+
+          std::vector<fft::Complex> work(nc);
+          for (std::size_t c = 0; c < nc; ++c) work[c] = {st.rho[c], 0.0};
+          mesh_window.touch_range(0, nc, false);
+          fft::transform_3d(work.data(), nx, ny, nz, -1);
+          rt.work_flops(fft::flops_3d(nx, ny, nz));
+          for (std::size_t c = 0; c < nc; ++c) {
+            const std::size_t x = c % nx, y = (c / nx) % ny, z = c / (nx * ny);
+            const double sx =
+                std::sin(std::numbers::pi * double(x) / double(nx));
+            const double sy =
+                std::sin(std::numbers::pi * double(y) / double(ny));
+            const double sz =
+                std::sin(std::numbers::pi * double(z) / double(nz));
+            const double k2 = 4.0 * (sx * sx + sy * sy + sz * sz);
+            work[c] = (k2 > 0) ? work[c] / k2 : fft::Complex(0, 0);
+          }
+          rt.work_flops(kFieldFlopsPerCell * 0.5 * static_cast<double>(nc));
+          fft::transform_3d(work.data(), nx, ny, nz, +1);
+          rt.work_flops(fft::flops_3d(nx, ny, nz));
+
+          for (std::size_t c = 0; c < nc; ++c) {
+            const std::size_t x = c % nx, y = (c / nx) % ny, z = c / (nx * ny);
+            const std::size_t xm = (x + nx - 1) % nx, xp = (x + 1) % nx;
+            const std::size_t ym = (y + ny - 1) % ny, yp = (y + 1) % ny;
+            const std::size_t zm = (z + nz - 1) % nz, zp = (z + 1) % nz;
+            st.ex[c] = -0.5 * (work[cell_index(xp, y, z)].real() -
+                               work[cell_index(xm, y, z)].real());
+            st.ey[c] = -0.5 * (work[cell_index(x, yp, z)].real() -
+                               work[cell_index(x, ym, z)].real());
+            st.ez[c] = -0.5 * (work[cell_index(x, y, zp)].real() -
+                               work[cell_index(x, y, zm)].real());
+          }
+          rt.work_flops(kFieldFlopsPerCell * 0.5 * static_cast<double>(nc));
+          mesh_window.touch_range(nc, 3 * nc, true);
+
+          for (int t = 1; t < ntasks; ++t) {
+            pvm::Message m;
+            m.pack(st.ex.data(), nc);
+            m.pack(st.ey.data(), nc);
+            m.pack(st.ez.data(), nc);
+            vm.send(g.tid_of(t), kTagField, std::move(m));
+          }
+        } else {
+          pvm::Message m;
+          m.pack(st.rho.data(), nc);
+          vm.send(g.tid_of(0), kTagRho, std::move(m));
+          pvm::Message f = vm.recv(g.tid_of(0), kTagField);
+          f.unpack(st.ex.data(), nc);
+          f.unpack(st.ey.data(), nc);
+          f.unpack(st.ez.data(), nc);
+          mesh_window.touch_range(nc, 3 * nc, true);
+        }
+
+        // ----- gather + push on private particles --------------------------
+        const double dt = cfg_.dt;
+        const double lx = double(nx), ly = double(ny), lz = double(nz);
+        for (std::size_t q = 0; q < my_np; ++q) {
+          const double x = st.px[q], y = st.py[q], z = st.pz[q];
+          const auto ix = static_cast<std::size_t>(x);
+          const auto iy = static_cast<std::size_t>(y);
+          const auto iz = static_cast<std::size_t>(z);
+          const double fx = x - std::floor(x), fy = y - std::floor(y),
+                       fz = z - std::floor(z);
+          const std::size_t ix1 = (ix + 1) % nx, iy1 = (iy + 1) % ny,
+                            iz1 = (iz + 1) % nz;
+          const double wx[2] = {1 - fx, fx}, wy[2] = {1 - fy, fy},
+                       wz[2] = {1 - fz, fz};
+          const std::size_t cx[2] = {ix, ix1}, cy[2] = {iy, iy1},
+                            cz[2] = {iz, iz1};
+          double e[3] = {0, 0, 0};
+          for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+              for (int c = 0; c < 2; ++c) {
+                const double w = wx[a] * wy[b] * wz[c];
+                const std::size_t idx = cell_index(cx[a], cy[b], cz[c]);
+                e[0] += w * st.ex[idx];
+                e[1] += w * st.ey[idx];
+                e[2] += w * st.ez[idx];
+                rt.read(mesh_window.vaddr(nc + idx));
+                rt.read(mesh_window.vaddr(2 * nc + idx));
+                rt.read(mesh_window.vaddr(3 * nc + idx));
+              }
+          st.vx[q] += dt * -1.0 * e[0];
+          st.vy[q] += dt * -1.0 * e[1];
+          st.vz[q] += dt * -1.0 * e[2];
+          double nxp = x + dt * st.vx[q], nyp = y + dt * st.vy[q],
+                 nzp = z + dt * st.vz[q];
+          nxp -= lx * std::floor(nxp / lx);
+          nyp -= ly * std::floor(nyp / ly);
+          nzp -= lz * std::floor(nzp / lz);
+          if (nxp >= lx) nxp = 0;
+          if (nyp >= ly) nyp = 0;
+          if (nzp >= lz) nzp = 0;
+          st.px[q] = nxp;
+          st.py[q] = nyp;
+          st.pz[q] = nzp;
+          for (int c = 0; c < 3; ++c) {
+            rt.read(part_window.vaddr((3 + c) * my_np + q));   // velocity
+            rt.write(part_window.vaddr((3 + c) * my_np + q));
+            rt.write(part_window.vaddr(c * my_np + q));        // position
+          }
+          rt.work_flops(kPushFlops);
+        }
+
+        // ----- diagnostics gathered to task 0 ------------------------------
+        double local[3] = {0, 0, 0};  // kinetic, momentum_z, (unused)
+        for (std::size_t q = 0; q < my_np; ++q) {
+          local[0] += 0.5 * (st.vx[q] * st.vx[q] + st.vy[q] * st.vy[q] +
+                             st.vz[q] * st.vz[q]);
+          local[1] += st.vz[q];
+        }
+        if (me == 0) {
+          double kin = local[0], mom = local[1];
+          for (int t = 1; t < ntasks; ++t) {
+            pvm::Message m = vm.recv(-1, kTagDiag);
+            double other[2];
+            m.unpack(other, 2);
+            kin += other[0];
+            mom += other[1];
+          }
+          double fld = 0, chg = 0;
+          for (std::size_t c = 0; c < nc; ++c) {
+            fld += 0.5 * (st.ex[c] * st.ex[c] + st.ey[c] * st.ey[c] +
+                          st.ez[c] * st.ez[c]);
+            chg += st.rho[c];
+          }
+          history[tally.history_count++] = fld;
+          if (s == 0) {
+            tally.initial = {kin, fld, chg, mom};
+          }
+          if (s + 1 == cfg_.steps) {
+            tally.final_kinetic = kin;
+            tally.final_momentum = mom;
+            tally.final_field = fld;
+            tally.final_charge = chg;
+          }
+        } else {
+          pvm::Message m;
+          m.pack(local, 2);
+          vm.send(g.tid_of(0), kTagDiag, std::move(m));
+        }
+      }
+
+      // ----- chunk end: slices back to the mirror via rank 0 ---------------
+      if (me == 0) {
+        std::copy(st.px.begin(), st.px.end(), gx.begin() + pb);
+        std::copy(st.py.begin(), st.py.end(), gy.begin() + pb);
+        std::copy(st.pz.begin(), st.pz.end(), gz.begin() + pb);
+        std::copy(st.vx.begin(), st.vx.end(), gvx.begin() + pb);
+        std::copy(st.vy.begin(), st.vy.end(), gvy.begin() + pb);
+        std::copy(st.vz.begin(), st.vz.end(), gvz.begin() + pb);
+        part_window.touch_range(0, 6 * my_np, false);
+        for (int r = 1; r < ntasks; ++r) {
+          pvm::Message m = vm.recv(-1, kTagCkpt);
+          const auto rr = static_cast<unsigned>(g.rank_of(m.sender));
+          const auto [sb, se] =
+              split(np, static_cast<unsigned>(ntasks), rr);
+          m.unpack(gx.data() + sb, se - sb);
+          m.unpack(gy.data() + sb, se - sb);
+          m.unpack(gz.data() + sb, se - sb);
+          m.unpack(gvx.data() + sb, se - sb);
+          m.unpack(gvy.data() + sb, se - sb);
+          m.unpack(gvz.data() + sb, se - sb);
+        }
+      } else {
+        pvm::Message m;
+        m.pack(st.px.data(), my_np);
+        m.pack(st.py.data(), my_np);
+        m.pack(st.pz.data(), my_np);
+        m.pack(st.vx.data(), my_np);
+        m.pack(st.vy.data(), my_np);
+        m.pack(st.vz.data(), my_np);
+        vm.send(g.tid_of(0), kTagCkpt, std::move(m));
+      }
+    });
+
+    step = end;
+  }
+
+  res.sim_time = rt_.now() - t0;
+  const auto total = rt_.machine().perf().total();
+  res.flops = total.flops;
+  res.mflops = res.flops / (sim::to_seconds(res.sim_time) * 1e6);
+  res.initial = tally.initial;
+  res.final = {tally.final_kinetic, tally.final_field, tally.final_charge,
+               tally.final_momentum};
+  res.field_energy_history.assign(
+      history.begin(),
+      history.begin() + static_cast<std::ptrdiff_t>(tally.history_count));
   return res;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "spp/apps/pic/pic.h"
+#include "spp/ckpt/durable.h"
 #include "spp/pvm/pvm.h"
 
 namespace spp::pic {
@@ -38,6 +39,14 @@ class PicPvm {
          rt::Placement placement);
 
   PicResult run();
+
+  /// Durable variant of run(): one pvm spawn per epoch-sized chunk, particle
+  /// slices gathered back to the host mirror at every chunk end so each
+  /// boundary's ckpt::Store capture (and disk commit) sees the current state
+  /// (docs/RECOVERY.md).  With spec.resume the run continues from the newest
+  /// valid disk epoch and reaches the same final digest as an uninterrupted
+  /// durable run.
+  PicResult run_durable(const ckpt::DurableSpec& spec);
 
  private:
   rt::Runtime& rt_;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "spp/apps/ppm/riemann.h"
+#include "spp/ckpt/durable.h"
 #include "spp/rt/garray.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/sync.h"
@@ -92,6 +93,13 @@ class PpmTiled {
   void tag_two_fluids();
 
   PpmResult run();
+
+  /// Durable variant of run(): epoch-sized chunks under a
+  /// ckpt::DurableSession (capture + disk commit + machine power-cycle at
+  /// every boundary; docs/RECOVERY.md).  With spec.resume the run continues
+  /// from the newest valid disk epoch and reaches the same final digest as
+  /// an uninterrupted durable run.
+  PpmResult run_durable(const ckpt::DurableSpec& spec);
 
   PpmDiagnostics diagnostics() const;
   /// Conserved state (rho, mx, my, E) of global zone (i, j); uncharged.

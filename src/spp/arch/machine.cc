@@ -32,6 +32,20 @@ Machine::Machine(Topology topo, CostModel cm)
   directory_.reserve(1u << 16);
 }
 
+void Machine::power_cycle() {
+  for (L1Cache& l1 : l1_) l1.clear();
+  for (sci::GCache& g : gcaches_) g.clear();
+  directory_.clear();
+  for (FuState& fu : fus_) {
+    fu.port.reset();
+    fu.dir.reset();
+    fu.ring_if.reset();
+    for (sim::Resource& bank : fu.banks) bank.reset();
+  }
+  for (TranslateMru& mru : mru_) mru = TranslateMru{};
+  rings_.reset_contention();
+}
+
 void Machine::maybe_erase(LineAddr line) {
   const HomeEntry* e = directory_.find(line);
   if (e != nullptr && e->empty()) directory_.erase(line);

@@ -65,6 +65,15 @@ class Machine {
   /// Drops all counters; protocol state is retained.
   void reset_stats() { perf_.reset(); }
 
+  /// Resets all cached/contended hardware state to a deterministic cold
+  /// machine -- L1s, gcaches, the home directory, translation MRUs, every
+  /// contended resource, and ring contention counters -- while leaving
+  /// counters, allocations, ring health (alive/degraded lanes), and armed
+  /// faults untouched.  Used at durable-checkpoint epoch boundaries
+  /// (spp::ckpt::DurableSession) so a resumed process continues from a state
+  /// it can reconstruct exactly.
+  void power_cycle();
+
   /// Attaches (or clears, with nullptr) a transaction observer.  One pointer
   /// test per access when null; observers never alter timing or state.
   void set_observer(MemObserver* observer) { observer_ = observer; }

@@ -104,4 +104,48 @@ void Store::restore(std::uint64_t epoch) {
   perf.rollback_ns += th.clock() - t0;
 }
 
+const Store::Snapshot& Store::epoch_image(std::uint64_t epoch) const {
+  const auto it = snaps_.find(epoch);
+  if (it == snaps_.end()) {
+    throw Error("ckpt: no snapshot for epoch " + std::to_string(epoch));
+  }
+  return it->second;
+}
+
+void Store::seed_epoch(std::uint64_t epoch, Snapshot snap) {
+  const std::vector<Region>& regions = reg_.regions();
+  if (regions.size() != snap.names.size()) {
+    throw Error("ckpt: disk epoch " + std::to_string(epoch) + " holds " +
+                std::to_string(snap.names.size()) + " regions but " +
+                std::to_string(regions.size()) + " are registered");
+  }
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const Region& r = regions[i];
+    if (r.name != snap.names[i]) {
+      throw Error("ckpt: region '" + r.name + "' does not match '" +
+                  snap.names[i] + "' in disk epoch " + std::to_string(epoch));
+    }
+    const auto [ptr, bytes] = r.locate();
+    (void)ptr;
+    if (bytes != snap.blobs[i].size()) {
+      throw Error("ckpt: region '" + r.name + "' is " +
+                  std::to_string(bytes) + " bytes but disk epoch " +
+                  std::to_string(epoch) + " holds " +
+                  std::to_string(snap.blobs[i].size()));
+    }
+    total += bytes;
+  }
+  // Validated; now mutate.  The arena allocation happens at the same point
+  // in the process's allocation sequence as the original run's first
+  // capture, so simulated address layout matches the run being resumed.
+  ensure_arena(total);
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const auto [ptr, bytes] = regions[i].locate();
+    if (bytes != 0) std::memcpy(ptr, snap.blobs[i].data(), bytes);
+  }
+  snaps_.clear();
+  snaps_[epoch] = std::move(snap);
+}
+
 }  // namespace spp::ckpt

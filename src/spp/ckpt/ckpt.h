@@ -126,6 +126,13 @@ class Registrar {
 /// the simulated "ckpt.store" arena carries the charged traffic.
 class Store {
  public:
+  /// Host-side image of one epoch: region names plus their byte payloads,
+  /// in registration order.  This is the unit spp::ckpt::Disk persists.
+  struct Snapshot {
+    std::vector<std::string> names;
+    std::vector<std::vector<std::uint8_t>> blobs;
+  };
+
   explicit Store(rt::Runtime& rt) : rt_(&rt) {}
 
   Registrar& registrar() { return reg_; }
@@ -152,11 +159,19 @@ class Store {
   }
   std::size_t snapshots() const { return snaps_.size(); }
 
+  /// Host image of snapshot `epoch`; throws Error when the epoch does not
+  /// exist.  Used by the durability layer to persist epochs to disk.
+  const Snapshot& epoch_image(std::uint64_t epoch) const;
+
+  /// Seeds the store from a disk epoch in a fresh process: validates `snap`
+  /// against the registered regions (same names, same sizes, registration
+  /// order), copies each payload into its region host-side, allocates the
+  /// arena, and installs `snap` as the store's only snapshot.  Unlike
+  /// restore(), this charges nothing -- the traffic was charged by the
+  /// original run's capture and is already part of the resumed counters.
+  void seed_epoch(std::uint64_t epoch, Snapshot snap);
+
  private:
-  struct Snapshot {
-    std::vector<std::string> names;
-    std::vector<std::vector<std::uint8_t>> blobs;
-  };
   /// Grows the simulated arena to hold `bytes` (first capture allocates it).
   void ensure_arena(std::uint64_t bytes);
 

@@ -1,0 +1,472 @@
+#include "spp/ckpt/disk.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace spp::ckpt {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// "SPPCKPT1" -- bumping the trailing digit is a format-version break on top
+// of the explicit version word (belt and braces: old readers reject on the
+// magic, new readers explain via the version).
+constexpr std::array<char, 8> kMagic = {'S', 'P', 'P', 'C', 'K', 'P', 'T',
+                                        '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+// magic + version + step + clock + payload_size + payload_crc + nregions.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8 + 4 + 4;
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-checked little-endian reader over a byte buffer.
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+  std::string what;  ///< context for error messages.
+
+  void need(std::size_t n) const {
+    if (left < n) {
+      throw Error("ckpt: " + what + " truncated (need " + std::to_string(n) +
+                  " more bytes, have " + std::to_string(left) + ")");
+    }
+  }
+  std::uint32_t get32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t get64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  void get(void* dst, std::size_t n) {
+    need(n);
+    std::memcpy(dst, p, n);
+    p += n;
+    left -= n;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PerfCounters serialization
+// ---------------------------------------------------------------------------
+// Explicit field-by-field visitation, shared by save and load so the two can
+// never disagree on order.  `flops` is a double and rides along bit-cast;
+// everything else is a 64-bit integer.
+
+template <typename C, typename F>
+void visit_cpu_counters(C& c, F&& f) {
+  f(c.loads);
+  f(c.stores);
+  f(c.l1_hits);
+  f(c.upgrades);
+  f(c.miss_fu_local);
+  f(c.miss_node);
+  f(c.miss_gcache);
+  f(c.miss_remote);
+  f(c.writebacks);
+  f(c.uncached_ops);
+  f(c.atomic_ops);
+  f(c.invals_received);
+  f(c.mem_stall);
+  f(c.compute);
+}
+
+template <typename P, typename F>
+void visit_global_counters(P& p, F&& f) {
+  f(p.ring_packets);
+  f(p.sci_purges);
+  f(p.sci_purge_targets);
+  f(p.invals_sent);
+  f(p.gcache_evictions);
+  f(p.l1_evictions);
+  f(p.faults_injected);
+  f(p.pvm_msgs_dropped);
+  f(p.pvm_msgs_duplicated);
+  f(p.pvm_msgs_delayed);
+  f(p.pvm_retries);
+  f(p.pvm_retransmitted_bytes);
+  f(p.ring_reroutes);
+  f(p.ring_reroute_hops);
+  f(p.cpu_recoveries);
+  f(p.recovery_ns);
+  f(p.checkpoints_taken);
+  f(p.ckpt_bytes);
+  f(p.rollbacks);
+  f(p.tasks_failed);
+  f(p.task_notifications);
+  f(p.ckpt_ns);
+  f(p.rollback_ns);
+  f(p.check_events);
+  f(p.check_violations);
+  f(p.races_detected);
+  f(p.deadlock_cycles);
+  f(p.deadlock_reports);
+}
+
+void save_perf(std::vector<std::uint8_t>& out, const arch::PerfCounters& p) {
+  put32(out, static_cast<std::uint32_t>(p.cpu.size()));
+  const auto put_field = [&out](const auto& v) {
+    if constexpr (std::is_same_v<std::decay_t<decltype(v)>, double>) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof bits);
+      put64(out, bits);
+    } else {
+      put64(out, v);
+    }
+  };
+  for (const arch::CpuCounters& c : p.cpu) {
+    visit_cpu_counters(c, put_field);
+    put_field(c.flops);
+  }
+  visit_global_counters(p, put_field);
+}
+
+arch::PerfCounters load_perf(Reader& r) {
+  const std::uint32_t ncpus = r.get32();
+  if (ncpus > 4096) {
+    throw Error("ckpt: " + r.what + " claims " + std::to_string(ncpus) +
+                " CPUs; rejecting as corrupt");
+  }
+  arch::PerfCounters p(ncpus);
+  const auto get_field = [&r](auto& v) {
+    if constexpr (std::is_same_v<std::decay_t<decltype(v)>, double>) {
+      const std::uint64_t bits = r.get64();
+      std::memcpy(&v, &bits, sizeof v);
+    } else {
+      v = r.get64();
+    }
+  };
+  for (arch::CpuCounters& c : p.cpu) {
+    visit_cpu_counters(c, get_field);
+    get_field(c.flops);
+  }
+  visit_global_counters(p, get_field);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Durable file plumbing
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error("ckpt: " + what + ": " + std::strerror(errno));
+}
+
+/// Writes `data` to `path` and fsyncs it before closing.
+void write_file_synced(const std::string& path,
+                       const std::vector<std::uint8_t>& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open " + path);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("write " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync " + path);
+  }
+  ::close(fd);
+}
+
+/// Makes a directory's entry list durable (the half of atomic-rename
+/// persistence most code forgets).
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse O_DIRECTORY.
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Commits `data` under `final_name` in `dir` via tmp + fsync + rename.
+void commit_file(const std::string& dir, const std::string& final_name,
+                 const std::vector<std::uint8_t>& data) {
+  const std::string tmp = dir + "/" + final_name + ".tmp";
+  const std::string final_path = dir + "/" + final_name;
+  write_file_synced(tmp, data);
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    throw_errno("rename " + tmp + " -> " + final_path);
+  }
+  fsync_dir(dir);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw_errno("open " + path);
+  std::vector<std::uint8_t> data;
+  std::array<std::uint8_t, 65536> buf;
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+    data.insert(data.end(), buf.data(), buf.data() + n);
+  }
+  std::fclose(f);
+  return data;
+}
+
+/// Parses "epoch-<digits>.ckpt"; returns false for anything else.
+bool parse_epoch_name(const std::string& name, std::uint64_t& step) {
+  constexpr const char* kPrefix = "epoch-";
+  constexpr const char* kSuffix = ".ckpt";
+  if (name.size() <= 6 + 5 || name.compare(0, 6, kPrefix) != 0) return false;
+  if (name.compare(name.size() - 5, 5, kSuffix) != 0) return false;
+  step = 0;
+  for (std::size_t i = 6; i < name.size() - 5; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    step = step * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  // Bitwise IEEE CRC-32; the checkpoint payloads are small enough that a
+  // table-free loop keeps this dependency-light.
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+std::string Disk::epoch_filename(std::uint64_t step) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "epoch-%" PRIu64 ".ckpt", step);
+  return buf;
+}
+
+Disk::Disk(std::string dir, bool read_only) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw Error("ckpt: cannot create checkpoint directory '" + dir_ + "'" +
+                (ec ? ": " + ec.message() : ""));
+  }
+  if (!read_only) acquire_lock();
+}
+
+Disk::~Disk() {
+  if (locked_) ::unlink(path("LOCK").c_str());
+}
+
+void Disk::acquire_lock() {
+  const std::string lock = path("LOCK");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(lock.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) {
+      char buf[32];
+      const int n = std::snprintf(buf, sizeof buf, "%ld\n",
+                                  static_cast<long>(::getpid()));
+      (void)!::write(fd, buf, static_cast<std::size_t>(n));
+      ::close(fd);
+      locked_ = true;
+      return;
+    }
+    if (errno != EEXIST) throw_errno("create " + lock);
+    // Someone holds the lock.  A live holder is a concurrent writer and a
+    // hard error; a dead one (the very SIGKILL --resume recovers from)
+    // left a stale lock we take over.
+    long pid = 0;
+    try {
+      const std::vector<std::uint8_t> data = read_file(lock);
+      pid = std::atol(
+          std::string(data.begin(), data.end()).c_str());
+    } catch (const Error&) {
+      pid = 0;  // racing unlink; retry the create.
+    }
+    if (pid > 0 && pid != static_cast<long>(::getpid()) &&
+        (::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM)) {
+      throw Error("ckpt: checkpoint directory '" + dir_ +
+                  "' is locked by live writer pid " + std::to_string(pid) +
+                  " (concurrent writers would corrupt the epoch set)");
+    }
+    if (pid == static_cast<long>(::getpid())) {
+      throw Error("ckpt: checkpoint directory '" + dir_ +
+                  "' is already open for writing by this process");
+    }
+    ::unlink(lock.c_str());  // stale; take over on the next attempt.
+  }
+  throw Error("ckpt: could not acquire writer lock in '" + dir_ + "'");
+}
+
+void Disk::write_epoch(const EpochData& epoch) {
+  if (!locked_) {
+    throw Error("ckpt: write_epoch on a read-only Disk for '" + dir_ + "'");
+  }
+  const Store::Snapshot& snap = epoch.snapshot;
+  if (snap.names.size() != snap.blobs.size()) {
+    throw Error("ckpt: epoch snapshot has " +
+                std::to_string(snap.names.size()) + " names but " +
+                std::to_string(snap.blobs.size()) + " payloads");
+  }
+
+  std::vector<std::uint8_t> payload;
+  save_perf(payload, epoch.perf);
+  for (std::size_t i = 0; i < snap.names.size(); ++i) {
+    const std::string& name = snap.names[i];
+    const std::vector<std::uint8_t>& blob = snap.blobs[i];
+    put32(payload, static_cast<std::uint32_t>(name.size()));
+    payload.insert(payload.end(), name.begin(), name.end());
+    put64(payload, blob.size());
+    put32(payload, crc32(blob.data(), blob.size()));
+    payload.insert(payload.end(), blob.begin(), blob.end());
+  }
+
+  std::vector<std::uint8_t> file;
+  file.reserve(kHeaderBytes + payload.size());
+  file.insert(file.end(), kMagic.begin(), kMagic.end());
+  put32(file, kFormatVersion);
+  put64(file, epoch.step);
+  put64(file, epoch.clock);
+  put64(file, payload.size());
+  put32(file, crc32(payload.data(), payload.size()));
+  put32(file, static_cast<std::uint32_t>(snap.names.size()));
+  file.insert(file.end(), payload.begin(), payload.end());
+
+  commit_file(dir_, epoch_filename(epoch.step), file);
+  write_manifest();
+}
+
+void Disk::write_manifest() const {
+  std::string text = "spp-ckpt manifest v1\n";
+  for (const std::uint64_t step : epochs()) {
+    text += "epoch " + std::to_string(step) + " " + epoch_filename(step) +
+            "\n";
+  }
+  commit_file(dir_, "MANIFEST",
+              std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+std::vector<std::uint64_t> Disk::epochs() const {
+  std::vector<std::uint64_t> steps;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::uint64_t step = 0;
+    if (parse_epoch_name(entry.path().filename().string(), step)) {
+      steps.push_back(step);
+    }
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+EpochData Disk::load_epoch(std::uint64_t step) const {
+  const std::string name = epoch_filename(step);
+  const std::vector<std::uint8_t> file = read_file(path(name));
+
+  Reader r{file.data(), file.size(), name};
+  std::array<char, 8> magic;
+  r.get(magic.data(), magic.size());
+  if (magic != kMagic) {
+    throw Error("ckpt: " + name + " is not a checkpoint file (bad magic)");
+  }
+  const std::uint32_t version = r.get32();
+  if (version != kFormatVersion) {
+    throw Error("ckpt: " + name + " has stale format version " +
+                std::to_string(version) + " (this build reads version " +
+                std::to_string(kFormatVersion) + ")");
+  }
+  EpochData epoch;
+  epoch.step = r.get64();
+  epoch.clock = r.get64();
+  const std::uint64_t payload_size = r.get64();
+  const std::uint32_t payload_crc = r.get32();
+  const std::uint32_t nregions = r.get32();
+  if (epoch.step != step) {
+    throw Error("ckpt: " + name + " claims epoch " +
+                std::to_string(epoch.step));
+  }
+  if (payload_size != r.left) {
+    throw Error("ckpt: " + name + " truncated: header promises " +
+                std::to_string(payload_size) + " payload bytes, file has " +
+                std::to_string(r.left));
+  }
+  if (crc32(r.p, r.left) != payload_crc) {
+    throw Error("ckpt: " + name + " failed its file-level CRC (corrupt)");
+  }
+
+  epoch.perf = load_perf(r);
+  epoch.snapshot.names.reserve(nregions);
+  epoch.snapshot.blobs.reserve(nregions);
+  for (std::uint32_t i = 0; i < nregions; ++i) {
+    const std::uint32_t name_len = r.get32();
+    r.need(name_len);
+    std::string region(reinterpret_cast<const char*>(r.p), name_len);
+    r.p += name_len;
+    r.left -= name_len;
+    const std::uint64_t bytes = r.get64();
+    const std::uint32_t want_crc = r.get32();
+    r.need(bytes);
+    std::vector<std::uint8_t> blob(r.p, r.p + bytes);
+    r.p += bytes;
+    r.left -= bytes;
+    if (crc32(blob.data(), blob.size()) != want_crc) {
+      throw Error("ckpt: " + name + " region '" + region +
+                  "' failed its CRC (corrupt)");
+    }
+    epoch.snapshot.names.push_back(std::move(region));
+    epoch.snapshot.blobs.push_back(std::move(blob));
+  }
+  if (r.left != 0) {
+    throw Error("ckpt: " + name + " has " + std::to_string(r.left) +
+                " trailing bytes after the last region");
+  }
+  return epoch;
+}
+
+std::optional<EpochData> Disk::load_newest() const {
+  std::vector<std::uint64_t> steps = epochs();
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    try {
+      return load_epoch(*it);
+    } catch (const Error& e) {
+      std::fprintf(stderr,
+                   "ckpt: skipping epoch %llu: %s; falling back to the "
+                   "previous epoch\n",
+                   static_cast<unsigned long long>(*it), e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace spp::ckpt

@@ -1,0 +1,97 @@
+#include "spp/ckpt/durable.h"
+
+#include <algorithm>
+
+#include "spp/rt/conductor.h"
+
+namespace spp::ckpt {
+
+namespace {
+volatile std::sig_atomic_t g_shutdown = 0;
+extern "C" void on_shutdown_signal(int) { g_shutdown = 1; }
+}  // namespace
+
+void request_shutdown() { g_shutdown = 1; }
+bool shutdown_requested() { return g_shutdown != 0; }
+void clear_shutdown() { g_shutdown = 0; }
+
+void install_shutdown_handlers() {
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+}
+
+DurableSession::DurableSession(rt::Runtime& rt, Store& store,
+                               const DurableSpec& spec)
+    : rt_(&rt), store_(&store), spec_(spec) {
+  if (!spec_.enabled()) {
+    throw Error(
+        "ckpt: DurableSession needs a checkpoint directory; use the "
+        "application's plain run() when durability is off");
+  }
+  spec_.interval = std::max<std::uint64_t>(1, spec_.interval);
+}
+
+std::uint64_t DurableSession::begin() {
+  disk_ = std::make_unique<Disk>(spec_.dir);
+  if (!spec_.resume) return 0;
+
+  std::optional<EpochData> epoch = disk_->load_newest();
+  if (!epoch) {
+    throw Error("ckpt: --resume found no valid epoch in '" + spec_.dir + "'");
+  }
+  arch::PerfCounters& perf = rt_->machine().perf();
+  if (epoch->perf.cpu.size() != perf.cpu.size()) {
+    throw Error("ckpt: epoch " + std::to_string(epoch->step) + " in '" +
+                spec_.dir + "' was taken on a " +
+                std::to_string(epoch->perf.cpu.size()) +
+                "-CPU machine; this run has " +
+                std::to_string(perf.cpu.size()));
+  }
+  store_->seed_epoch(epoch->step, std::move(epoch->snapshot));
+  perf = epoch->perf;
+  rt::Conductor::self().set_clock(epoch->clock);
+  rt_->machine().power_cycle();
+  // The boundary at the resumed step already happened in the run we are
+  // continuing -- its capture charges are inside the restored counters --
+  // so the first boundary() call must not replay it.
+  skip_once_ = true;
+  return epoch->step;
+}
+
+bool DurableSession::boundary(std::uint64_t step) {
+  if (skip_once_) {
+    skip_once_ = false;
+    return true;
+  }
+
+  store_->capture(step);
+  const bool stop = shutdown_requested();
+
+  const auto now = std::chrono::steady_clock::now();
+  const bool wall_due =
+      spec_.wall_interval <= 0.0 || writes_ == 0 ||
+      std::chrono::duration<double>(now - last_write_).count() >=
+          spec_.wall_interval;
+  if (stop || wall_due || spec_.test_kill_after_writes != 0) {
+    EpochData epoch;
+    epoch.step = step;
+    epoch.clock = rt::Conductor::self().clock();
+    epoch.perf = rt_->machine().perf();
+    epoch.snapshot = store_->epoch_image(step);
+    disk_->write_epoch(epoch);
+    ++writes_;
+    last_write_ = now;
+    if (spec_.test_kill_after_writes != 0 &&
+        writes_ >= spec_.test_kill_after_writes) {
+      std::raise(SIGKILL);  // test hook: die exactly as a host OOM-kill would.
+    }
+  }
+
+  // Reset the machine to a deterministic cold state so a future resume from
+  // this epoch continues bit-identically (see file comment).
+  rt_->machine().power_cycle();
+  stopped_ = stop;
+  return !stop;
+}
+
+}  // namespace spp::ckpt

@@ -1,0 +1,113 @@
+// Durable (crash-safe) run support: the protocol that turns spp::ckpt::Disk
+// epochs into bit-exact resume (docs/RECOVERY.md, "Durable checkpoints &
+// resume").
+//
+// A durable run executes its time loop in chunks of `interval` steps, each
+// chunk its own parallel/spawn region.  Between chunks -- on the main
+// simulated thread, with every worker joined -- DurableSession::boundary()
+//
+//   1. takes a charged Store::capture(step) (the same measurable checkpoint
+//      cost the in-memory recovery loops pay),
+//   2. optionally commits the epoch to disk (gated by --ckpt-wall-interval;
+//      host-side, charges nothing), and
+//   3. power-cycles the simulated machine (Machine::power_cycle): caches,
+//      directory, TLB MRUs, and resource/ring contention state all reset to
+//      cold.
+//
+// Step 3 is what makes resume bit-exact rather than merely close: the
+// machine is deterministically cold at every epoch boundary, so a fresh
+// process that seeds its Store from a disk epoch, restores the saved
+// PerfCounters and main-thread clock, and re-enters the chunk loop at that
+// step continues the simulation bit-identically -- the final digest equals
+// the uninterrupted run's.  (The resumed process replays the same
+// constructor-time allocation sequence, so simulated addresses line up too.)
+//
+// Graceful shutdown: SIGINT/SIGTERM set a flag (install_shutdown_handlers);
+// boundary() notices it at the next quiesce point, force-flushes the epoch
+// to disk, and returns false so the driver exits cleanly.
+#pragma once
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "spp/ckpt/ckpt.h"
+#include "spp/ckpt/disk.h"
+#include "spp/rt/runtime.h"
+
+namespace spp::ckpt {
+
+/// Configuration for a durable run.  `dir` empty means durability is off and
+/// the application must use its plain run() path (zero-cost discipline).
+struct DurableSpec {
+  std::string dir;                  ///< checkpoint directory ("" = disabled)
+  std::uint64_t interval = 1;       ///< sim steps per epoch (chunk length)
+  double wall_interval = 0.0;       ///< min wall-seconds between disk writes
+                                    ///< (0 = write every epoch)
+  bool resume = false;              ///< seed from the newest valid disk epoch
+  unsigned test_kill_after_writes = 0;  ///< test hook: raise(SIGKILL) after
+                                        ///< this many disk commits (0 = off)
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Asks the current run to flush a checkpoint and exit at the next epoch
+/// boundary (what the SIGINT/SIGTERM handlers call).
+void request_shutdown();
+/// True once a shutdown has been requested and not cleared.
+bool shutdown_requested();
+/// Re-arms shutdown detection (call between runs in one process).
+void clear_shutdown();
+/// Installs SIGINT/SIGTERM handlers that call request_shutdown().
+void install_shutdown_handlers();
+
+/// Drives one durable run.  Usage, from inside rt.run() on simulated thread
+/// 0 after all regions are registered:
+///
+///   DurableSession s(rt, store, spec);
+///   std::uint64_t step = s.begin();            // 0, or the resumed epoch
+///   for (;;) {
+///     if (!s.boundary(step) || step >= steps) break;
+///     const std::uint64_t end = std::min(step + s.interval(), steps);
+///     /* run steps [step, end) as one parallel/spawn chunk */
+///     step = end;
+///   }
+class DurableSession {
+ public:
+  /// Throws Error if `spec` is disabled -- a disabled spec means the caller
+  /// should have taken the application's plain run() path.
+  DurableSession(rt::Runtime& rt, Store& store, const DurableSpec& spec);
+
+  /// Opens the checkpoint directory (acquiring the writer lock) and, when
+  /// resuming, seeds the store/counters/clock from the newest valid epoch
+  /// and power-cycles the machine.  Returns the step to re-enter the loop
+  /// at: 0 fresh, the epoch step on resume.  Throws Error when --resume
+  /// finds no valid epoch.
+  std::uint64_t begin();
+
+  /// Epoch boundary at `step`; see the file comment for the protocol.
+  /// Returns false when the driver should stop (graceful shutdown); the
+  /// epoch is on disk by then.  On the first boundary after a resume this
+  /// is a no-op returning true: that epoch's capture charges are already in
+  /// the restored counters.
+  bool boundary(std::uint64_t step);
+
+  std::uint64_t interval() const { return spec_.interval; }
+  /// True once boundary() returned false because of a shutdown request.
+  bool stopped() const { return stopped_; }
+  unsigned epochs_written() const { return writes_; }
+
+ private:
+  rt::Runtime* rt_;
+  Store* store_;
+  DurableSpec spec_;
+  std::unique_ptr<Disk> disk_;
+  bool skip_once_ = false;
+  bool stopped_ = false;
+  unsigned writes_ = 0;
+  std::chrono::steady_clock::time_point last_write_{};
+};
+
+}  // namespace spp::ckpt

@@ -260,6 +260,7 @@ void Conductor::loop() {
     SThread* t = *ready_.begin();
     ready_.erase(ready_.begin());
     t->run_once();
+    progress_.fetch_add(1, std::memory_order_relaxed);
     switch (t->state()) {
       case SThread::State::kReady:
         ready_.insert(t);

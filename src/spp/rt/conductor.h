@@ -20,6 +20,7 @@
 // bit-identical simulated time and counters.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -213,6 +214,15 @@ class Conductor {
 
   std::size_t live_threads() const { return live_; }
 
+  /// Monotonic count of scheduling dispatches, bumped once per run_once().
+  /// The only cross-thread-readable signal the conductor exports: the
+  /// rt::Watchdog polls it from its own OS thread to detect a wedged
+  /// simulation (no dispatches for N wall-seconds).  Relaxed atomics -- a
+  /// stale read just delays stall detection by one poll.
+  std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
   /// Per-thread blocked-on diagnosis of the current wait-for graph: one line
   /// per non-Done thread plus the cycle (deadlock) or its absence (lost
   /// wakeup).  Used verbatim by the all-blocked deadlock throw, the
@@ -250,6 +260,7 @@ class Conductor {
   std::size_t live_ = 0;     ///< threads not yet Done.
   std::size_t blocked_ = 0;  ///< threads currently Blocked.
   unsigned next_tid_ = 0;
+  std::atomic<std::uint64_t> progress_{0};  ///< dispatch count (watchdog).
   bool running_ = false;
   bool diagnosed_ = false;   ///< a wait-for report has been emitted.
 };

@@ -1,0 +1,52 @@
+#include "spp/rt/watchdog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spp::rt {
+
+Watchdog::Watchdog(Conductor& conductor, double stall_seconds,
+                   std::function<void()> dump)
+    : conductor_(&conductor),
+      stall_seconds_(stall_seconds),
+      dump_(std::move(dump)),
+      thread_([this] { poll_loop(); }) {}
+
+Watchdog::~Watchdog() {
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+}
+
+void Watchdog::poll_loop() {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t last_progress = conductor_->progress();
+  clock::time_point last_change = clock::now();
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::uint64_t p = conductor_->progress();
+    if (p != last_progress) {
+      last_progress = p;
+      last_change = clock::now();
+      continue;
+    }
+    const double stalled =
+        std::chrono::duration<double>(clock::now() - last_change).count();
+    if (stalled < stall_seconds_) continue;
+
+    // Wedged: one dispatch counter, frozen for stall_seconds_ of wall time.
+    std::fprintf(stderr,
+                 "watchdog: no conductor progress for %.1f s "
+                 "(dispatches stuck at %llu); simulation is wedged\n",
+                 stalled, static_cast<unsigned long long>(p));
+    std::fprintf(stderr, "%s\n", conductor_->blocked_report().c_str());
+    if (dump_) dump_();
+    std::fflush(nullptr);
+    // The conductor cannot be unwound from outside; exit hard so a
+    // supervisor (or a durable --resume) can take over.
+    std::_Exit(kExitCode);
+  }
+}
+
+}  // namespace spp::rt

@@ -1,0 +1,56 @@
+// Host-side supervision for simulated runs (docs/RECOVERY.md, "Durable
+// checkpoints & resume").
+//
+// The conductor's deadlock analyzer catches waits that form a cycle, but a
+// simulated thread that simply never reaches another scheduling point -- an
+// infinite host-side loop in application code, a lost wakeup with no
+// wait-for edge -- wedges the whole process silently: exactly one SThread
+// runs at a time, so a stuck thread stalls the dispatcher itself.  The
+// Watchdog is the supervisor for that failure mode: a plain OS thread that
+// polls Conductor::progress() and, when no dispatch has happened for
+// `stall_seconds` of wall time, prints the BlockReason wait-for report (the
+// same diagnosis a deadlock throw carries), runs an optional extra dump
+// (tools pass a Profiler snapshot), and terminates the process with exit
+// code 3 via _Exit -- the simulation is wedged, so no orderly unwind is
+// possible.  A durable run killed this way resumes from its newest disk
+// epoch like any other host death.
+//
+// Zero-cost discipline: the watchdog reads one relaxed atomic; it never
+// blocks the conductor, touches simulated state, or alters timing.  Runs
+// that do not construct one are unchanged.
+#pragma once
+
+#include <functional>
+#include <thread>
+
+#include "spp/rt/conductor.h"
+
+namespace spp::rt {
+
+class Watchdog {
+ public:
+  /// Exit code used when the watchdog terminates a wedged process.
+  static constexpr int kExitCode = 3;
+
+  /// Starts supervising `conductor`.  `dump` (optional) runs after the
+  /// wait-for report, before exit -- keep it host-only and signal-safe-ish
+  /// (it runs on the watchdog thread while the simulation is wedged).
+  Watchdog(Conductor& conductor, double stall_seconds,
+           std::function<void()> dump = nullptr);
+  /// Stops the poll thread; never fires during destruction.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  void poll_loop();
+
+  Conductor* conductor_;
+  double stall_seconds_;
+  std::function<void()> dump_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace spp::rt

@@ -104,6 +104,20 @@ class RingFabric {
     return t;
   }
 
+  /// Clears every link's contention history and the fabric's local packet
+  /// tallies while keeping health state (alive/degrade, faults_armed_)
+  /// intact.  Part of Machine::power_cycle(): a resumed process must see the
+  /// same cold interconnect an epoch boundary left behind, but link health
+  /// is machine configuration, not transient state.
+  void reset_contention() {
+    for (auto& ring : lanes_) {
+      for (Lane& lane : ring) lane.link = sim::Resource{};
+    }
+    packets_ = 0;
+    rerouted_packets_ = 0;
+    reroute_hops_ = 0;
+  }
+
   std::uint64_t packets() const { return packets_; }
   std::uint64_t rerouted_packets() const { return rerouted_packets_; }
   std::uint64_t reroute_hops() const { return reroute_hops_; }

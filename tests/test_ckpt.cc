@@ -17,6 +17,7 @@
 #include "spp/apps/fem/femgas.h"
 #include "spp/apps/nbody/nbody_pvm.h"
 #include "spp/apps/pic/pic_pvm.h"
+#include "spp/apps/ppm/ppm.h"
 #include "spp/arch/topology.h"
 #include "spp/ckpt/ckpt.h"
 #include "spp/fault/fault.h"
@@ -148,6 +149,33 @@ TEST(Ckpt, RegistrarAndStoreRejectProtocolViolations) {
   });
 }
 
+TEST(Ckpt, RestoreErrorsNameTheEpochAndRegion) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  std::vector<double> state(8, 1.0);
+  Store store(runtime);
+  store.registrar().add_host("state", state);
+
+  runtime.run([&] {
+    // Epoch-not-found names the missing epoch.
+    try {
+      store.restore(7);
+      FAIL() << "no epoch 7 exists";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "ckpt: no snapshot for epoch 7");
+    }
+    // A region whose size changed names the region and both sizes.
+    store.capture(2);
+    state.resize(10, 0.0);
+    try {
+      store.restore(2);
+      FAIL() << "the region shrank under the snapshot";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(),
+                   "ckpt: region 'state' is 80 bytes but epoch 2 holds 64");
+    }
+  });
+}
+
 TEST(Ckpt, UnusedStoreIsBitFree) {
   // Zero-cost-when-detached: constructing a Store (and even registering
   // regions) charges nothing until capture() runs.
@@ -258,6 +286,65 @@ TEST(CkptRecovery, FemGasRecoversBitExact) {
         return std::vector<double>{r.final.total_mass, r.final.total_mom_x,
                                    r.final.total_mom_y, r.final.total_energy,
                                    r.final.min_density, r.final.min_pressure};
+      },
+      /*tol=*/0.0, /*pvm_style=*/false);
+}
+
+TEST(CkptRecovery, NbodyRecoversBitExact) {
+  // Positions and velocities carry all step-to-step state; interactions_ is
+  // deliberately NOT restored on rollback -- like the flops counter it
+  // reports work performed, which includes the replayed steps.
+  expect_recovers(
+      [](rt::Runtime& rt, unsigned k) {
+        nbody::NbodyConfig cfg;
+        cfg.n = 128;
+        cfg.steps = 4;
+        cfg.ckpt_interval = k;
+        nbody::NbodyShared app(rt, cfg, 4, rt::Placement::kUniform);
+        app.load_plummer();
+        const nbody::NbodyResult r = app.run();
+        return std::vector<double>{r.final.kinetic, r.final.px, r.final.py,
+                                   r.final.pz};
+      },
+      /*tol=*/0.0, /*pvm_style=*/false);
+}
+
+TEST(CkptRecovery, PicRecoversBitExact) {
+  // The field-energy history rides in the epoch too: a replayed step must
+  // overwrite its history slot, not append a duplicate.
+  expect_recovers(
+      [](rt::Runtime& rt, unsigned k) {
+        pic::PicConfig cfg;
+        cfg.nx = cfg.ny = cfg.nz = 8;
+        cfg.steps = 6;
+        cfg.ckpt_interval = k;
+        pic::PicShared app(rt, cfg, 4, rt::Placement::kUniform);
+        const pic::PicResult r = app.run();
+        std::vector<double> d{r.final.kinetic_energy, r.final.field_energy,
+                              r.final.total_charge, r.final.momentum_z};
+        d.insert(d.end(), r.field_energy_history.begin(),
+                 r.field_energy_history.end());
+        return d;
+      },
+      /*tol=*/0.0, /*pvm_style=*/false);
+}
+
+TEST(CkptRecovery, PpmRecoversBitExact) {
+  expect_recovers(
+      [](rt::Runtime& rt, unsigned k) {
+        ppm::PpmConfig cfg;
+        cfg.nx = 24;
+        cfg.ny = 48;
+        cfg.tiles_x = 2;
+        cfg.tiles_y = 4;
+        cfg.steps = 4;
+        cfg.ckpt_interval = k;
+        ppm::PpmTiled app(rt, cfg, 4, rt::Placement::kUniform);
+        app.init_sod_x();
+        const ppm::PpmResult r = app.run();
+        return std::vector<double>{r.final.mass, r.final.mom_x, r.final.mom_y,
+                                   r.final.energy, r.final.min_rho,
+                                   r.final.min_p};
       },
       /*tol=*/0.0, /*pvm_style=*/false);
 }

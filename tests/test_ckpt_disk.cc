@@ -1,0 +1,329 @@
+// Durable-checkpoint tests (docs/RECOVERY.md, "Durable checkpoints &
+// resume"):
+//   * the epoch file format round-trips and every corruption mode --
+//     truncation, bit flips, stale versions, bad magic -- is detected at
+//     load time, with load_newest() falling back to the newest VALID epoch;
+//   * the LOCK protocol rejects a concurrent live writer and silently takes
+//     over a dead one's lock (what --resume does after a SIGKILL);
+//   * a resumed durable run reaches the exact digest of an uninterrupted
+//     one, both after a mid-run stop and after a graceful-shutdown flush;
+//   * --ckpt-wall-interval gates only the host-side disk writes, never the
+//     charged capture, so it cannot perturb the digest;
+//   * the host-side watchdog aborts a wedged simulation with exit code 3.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "spp/apps/fem/femgas.h"
+#include "spp/arch/topology.h"
+#include "spp/ckpt/disk.h"
+#include "spp/ckpt/durable.h"
+#include "spp/rt/runtime.h"
+#include "spp/rt/watchdog.h"
+
+namespace spp::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+using arch::Topology;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "sppdisk-" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+EpochData make_epoch(std::uint64_t step) {
+  EpochData d;
+  d.step = step;
+  d.clock = 123456789 + step;
+  d.perf = arch::PerfCounters(2);
+  d.perf.cpu[0].loads = 7 + step;
+  d.perf.cpu[1].mem_stall = 42;
+  d.perf.cpu[1].flops = 3.5;
+  d.perf.ring_packets = 11;
+  d.perf.checkpoints_taken = step;
+  d.snapshot.names = {"alpha", "beta"};
+  d.snapshot.blobs = {{1, 2, 3, 4}, {5, 6, 7, 8, 9}};
+  return d;
+}
+
+void corrupt_file(const std::string& path, std::size_t offset,
+                  std::uint8_t xor_mask) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.read(&b, 1);
+  f.seekp(static_cast<std::streamoff>(offset));
+  b = static_cast<char>(b ^ xor_mask);
+  f.write(&b, 1);
+}
+
+// ---------------------------------------------------------------------------
+// File format
+// ---------------------------------------------------------------------------
+
+TEST(CkptDisk, Crc32KnownAnswer) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(CkptDisk, EpochRoundTripsThroughDisk) {
+  const std::string dir = fresh_dir("roundtrip");
+  Disk disk(dir);
+  disk.write_epoch(make_epoch(0));
+  disk.write_epoch(make_epoch(4));
+  disk.write_epoch(make_epoch(2));
+
+  EXPECT_EQ(disk.epochs(), (std::vector<std::uint64_t>{0, 2, 4}));
+  EXPECT_TRUE(fs::exists(dir + "/MANIFEST"));
+
+  const EpochData want = make_epoch(4);
+  const EpochData got = disk.load_epoch(4);
+  EXPECT_EQ(got.step, want.step);
+  EXPECT_EQ(got.clock, want.clock);
+  EXPECT_EQ(got.perf.digest(got.clock), want.perf.digest(want.clock));
+  EXPECT_EQ(got.perf.cpu[1].flops, 3.5);
+  EXPECT_EQ(got.snapshot.names, want.snapshot.names);
+  EXPECT_EQ(got.snapshot.blobs, want.snapshot.blobs);
+
+  const auto newest = disk.load_newest();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->step, 4u);
+}
+
+TEST(CkptDisk, TruncatedEpochIsRejectedAndNewestValidWins) {
+  const std::string dir = fresh_dir("truncated");
+  Disk disk(dir);
+  disk.write_epoch(make_epoch(0));
+  disk.write_epoch(make_epoch(2));
+
+  const std::string newest = dir + "/" + Disk::epoch_filename(2);
+  fs::resize_file(newest, fs::file_size(newest) / 2);
+
+  try {
+    (void)disk.load_epoch(2);
+    FAIL() << "a truncated epoch must not load";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+  // Fallback: the corrupted newest epoch is skipped, not fatal.
+  const auto got = disk.load_newest();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->step, 0u);
+}
+
+TEST(CkptDisk, FlippedPayloadByteFailsTheCrc) {
+  const std::string dir = fresh_dir("bitflip");
+  Disk disk(dir);
+  disk.write_epoch(make_epoch(3));
+  // The fixed header is 40 bytes; offset 60 lands inside the payload.
+  corrupt_file(dir + "/" + Disk::epoch_filename(3), 60, 0x01);
+  try {
+    (void)disk.load_epoch(3);
+    FAIL() << "a flipped payload byte must not load";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(disk.load_newest().has_value());
+}
+
+TEST(CkptDisk, StaleFormatVersionIsRejected) {
+  const std::string dir = fresh_dir("version");
+  Disk disk(dir);
+  disk.write_epoch(make_epoch(1));
+  // The u32 format version sits right after the 8-byte magic; the file CRC
+  // covers only the payload, so this exercises the version check itself.
+  corrupt_file(dir + "/" + Disk::epoch_filename(1), 8, 0x03);
+  try {
+    (void)disk.load_epoch(1);
+    FAIL() << "an unknown format version must not load";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("stale format version"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CkptDisk, BadMagicIsRejected) {
+  const std::string dir = fresh_dir("magic");
+  Disk disk(dir);
+  disk.write_epoch(make_epoch(1));
+  corrupt_file(dir + "/" + Disk::epoch_filename(1), 0, 0xFF);
+  try {
+    (void)disk.load_epoch(1);
+    FAIL() << "a non-checkpoint file must not load";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("not a checkpoint file"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-writer LOCK protocol
+// ---------------------------------------------------------------------------
+
+TEST(CkptDisk, ConcurrentWriterIsRejectedButReadersAreNot) {
+  const std::string dir = fresh_dir("lock");
+  Disk writer(dir);
+  try {
+    Disk second(dir);
+    FAIL() << "two live writers must not share a checkpoint directory";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("already open for writing"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_NO_THROW(Disk reader(dir, /*read_only=*/true));
+}
+
+TEST(CkptDisk, DeadWriterLockIsTakenOver) {
+  const std::string dir = fresh_dir("stale-lock");
+  {
+    Disk once(dir);  // creates the directory; releases its lock on scope exit
+  }
+  // A pid that is guaranteed dead: a reaped child.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  {
+    std::ofstream lock(dir + "/LOCK");
+    lock << child << "\n";
+  }
+  // The SIGKILLed-writer situation --resume faces: steal the lock silently.
+  EXPECT_NO_THROW(Disk taken(dir));
+}
+
+// ---------------------------------------------------------------------------
+// Durable runs: resume, graceful shutdown, wall-interval gating
+// ---------------------------------------------------------------------------
+
+/// One femgas durable run in a fresh Runtime; a fresh Runtime per run is
+/// equivalent to a fresh process (virtual memory and the clock both start
+/// from zero), which is exactly what a real --resume sees.
+std::uint64_t durable_fem_digest(const std::string& dir, unsigned steps,
+                                 bool resume, double wall_interval = 0.0) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  DurableSpec spec;
+  spec.dir = dir;
+  spec.interval = 1;
+  spec.resume = resume;
+  spec.wall_interval = wall_interval;
+  runtime.run([&] {
+    fem::FemConfig cfg;
+    cfg.nx = 16;
+    cfg.ny = 8;
+    cfg.steps = steps;
+    fem::FemGas app(runtime, cfg, 4, rt::Placement::kUniform);
+    app.init_blast(2.0, 3.0);
+    (void)app.run_durable(spec);
+  });
+  return runtime.machine().perf().digest(runtime.elapsed());
+}
+
+TEST(CkptDurable, ResumeReachesTheUninterruptedDigest) {
+  const std::string base = fresh_dir("resume");
+  const std::uint64_t want = durable_fem_digest(base + "/full", 4, false);
+
+  // A run that stops after step 2's boundary stands in for a killed one:
+  // the epochs it leaves on disk are the same bytes a SIGKILL would leave
+  // (every commit is atomic-rename durable).
+  (void)durable_fem_digest(base + "/killed", 2, false);
+  const std::uint64_t got = durable_fem_digest(base + "/killed", 4, true);
+  EXPECT_EQ(got, want) << "resume must continue the simulation bit-exactly";
+}
+
+TEST(CkptDurable, GracefulShutdownFlushesThenResumesBitExact) {
+  const std::string base = fresh_dir("shutdown");
+  const std::uint64_t want = durable_fem_digest(base + "/full", 4, false);
+
+  // Shutdown already requested when the run starts: it must stop at the
+  // first boundary with that epoch flushed to disk.
+  request_shutdown();
+  (void)durable_fem_digest(base + "/stopped", 4, false);
+  EXPECT_TRUE(shutdown_requested());
+  clear_shutdown();
+  {
+    Disk d(base + "/stopped", /*read_only=*/true);
+    EXPECT_EQ(d.epochs(), (std::vector<std::uint64_t>{0}));
+  }
+
+  const std::uint64_t got = durable_fem_digest(base + "/stopped", 4, true);
+  EXPECT_EQ(got, want);
+}
+
+TEST(CkptDurable, WallIntervalGatesDiskWritesOnly) {
+  const std::string base = fresh_dir("wall");
+  // An hour-long wall interval suppresses every write but the forced first
+  // one; the charged captures still happen at every boundary, so the digest
+  // cannot move.
+  const std::uint64_t every = durable_fem_digest(base + "/every", 3, false);
+  const std::uint64_t gated =
+      durable_fem_digest(base + "/gated", 3, false, 3600.0);
+  EXPECT_EQ(every, gated);
+
+  Disk de(base + "/every", /*read_only=*/true);
+  EXPECT_EQ(de.epochs(), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  Disk dg(base + "/gated", /*read_only=*/true);
+  EXPECT_EQ(dg.epochs(), (std::vector<std::uint64_t>{0}));
+}
+
+TEST(CkptDurable, ResumeWithNoValidEpochIsAnError) {
+  const std::string dir = fresh_dir("no-epoch");
+  try {
+    (void)durable_fem_digest(dir, 4, /*resume=*/true);
+    FAIL() << "--resume with an empty directory must not silently restart";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no valid epoch"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+using CkptWatchdogDeathTest = ::testing::Test;
+
+TEST(CkptWatchdogDeathTest, AbortsAWedgedSimulation) {
+  // A simulated thread that never yields back to the conductor is the
+  // wedge the watchdog exists for: dispatches stop, sim time freezes.
+  EXPECT_EXIT(
+      {
+        rt::Runtime runtime(Topology{.nodes = 1});
+        rt::Watchdog dog(runtime.conductor(), /*stall_seconds=*/0.3);
+        runtime.run([&] {
+          for (;;) {
+          }
+        });
+      },
+      ::testing::ExitedWithCode(rt::Watchdog::kExitCode), "wedged");
+}
+
+TEST(CkptWatchdog, StaysSilentWhileProgressContinues) {
+  rt::Runtime runtime(Topology{.nodes = 1});
+  rt::Watchdog dog(runtime.conductor(), /*stall_seconds=*/30.0);
+  runtime.run([&] {
+    runtime.parallel(4, rt::Placement::kUniform,
+                     [&](unsigned, unsigned) { runtime.work_flops(1000); });
+  });
+  EXPECT_GT(runtime.conductor().progress(), 0u);
+}
+
+}  // namespace
+}  // namespace spp::ckpt

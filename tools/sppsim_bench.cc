@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "spp/apps/nbody/nbody.h"
+#include "spp/ckpt/durable.h"
 #include "spp/lib/psort.h"
 #include "spp/lib/scatter_add.h"
 #include "spp/rt/conductor.h"
@@ -38,6 +39,11 @@ struct Measurement {
   sim::Time sim_ns = 0;
   std::uint64_t digest = 0;
 };
+
+/// Durable-checkpoint options for the nbody app bench (docs/RECOVERY.md).
+/// Disabled by default; when disabled the plain run() path executes and the
+/// benches stay bit-identical to their committed baselines.
+ckpt::DurableSpec g_durable;
 
 Measurement seal(rt::Runtime& runtime) {
   return {runtime.elapsed(),
@@ -98,7 +104,13 @@ Measurement bench_nbody(rt::ConductorBackend be, bool smoke) {
   cfg.n = smoke ? 256 : 1024;
   cfg.steps = 2;
   nbody::NbodyShared nb(runtime, cfg, 8, rt::Placement::kHighLocality);
-  runtime.run([&] { nb.run(); });
+  runtime.run([&] {
+    if (g_durable.enabled()) {
+      (void)nb.run_durable(g_durable);
+    } else {
+      (void)nb.run();
+    }
+  });
   return seal(runtime);
 }
 
@@ -241,12 +253,18 @@ int usage() {
       stderr,
       "usage: sppsim-bench [--smoke] [--backend threads|fibers|both]\n"
       "                    [--bench NAME]... [--out DIR | --check DIR]\n"
+      "                    [--ckpt-dir DIR [--ckpt-wall-interval SEC] "
+      "[--resume]]\n"
       "\n"
       "Benches: scheduling psort scatter nbody (default: all).\n"
       "--backend both runs each bench under both conductor backends and\n"
       "fails if simulated time or the counter digest differ.  --out writes\n"
       "BENCH_<name>.json baselines; --check compares against committed\n"
-      "ones (sim time + digest only; wall time is informational).\n");
+      "ones (sim time + digest only; wall time is informational).\n"
+      "--ckpt-dir makes the nbody bench a durable run (epoch commits to\n"
+      "disk, bit-exact --resume; docs/RECOVERY.md) -- its digest then\n"
+      "includes the checkpoint charges, so don't mix with --check against\n"
+      "non-durable baselines.\n");
   return 2;
 }
 
@@ -284,9 +302,25 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       check_dir = v;
       checking = true;
+    } else if (arg == "--ckpt-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      g_durable.dir = v;
+    } else if (arg == "--ckpt-wall-interval") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      g_durable.wall_interval = std::atof(v);
+    } else if (arg == "--resume") {
+      g_durable.resume = true;
     } else {
       return usage();
     }
+  }
+  if (!g_durable.enabled() && (g_durable.resume || g_durable.wall_interval > 0)) {
+    std::fprintf(stderr,
+                 "sppsim-bench: --resume/--ckpt-wall-interval need "
+                 "--ckpt-dir\n");
+    return usage();
   }
 
   std::vector<rt::ConductorBackend> backends;

@@ -7,24 +7,39 @@
 //   sppsim-explore chaos    [--nodes N] [--bytes B] [--rounds R]
 //   sppsim-explore check    [--nodes N] [--threads T]
 //   sppsim-explore survive  [--nodes N] [--threads T]
+//   sppsim-explore run      --app APP [--steps S] [--ckpt-dir DIR] [--resume]
 //   sppsim-explore map      [--nodes N]
 //
 // Any runtime-backed command accepts --fault-plan FILE (docs/FAULTS.md) to
 // run under injected faults; `chaos` uses a built-in lossy plan when no file
 // is given, verifies every payload round-trips intact under full checking,
 // and prints the fault/recovery counters afterwards.  `survive` kills a CPU
-// mid-run in all four applications with checkpointing enabled and verifies
-// each one recovers to the fault-free answer (docs/RECOVERY.md).  Both exit
-// nonzero on divergence or an oracle firing.
+// mid-run in all four applications with checkpointing enabled, verifies each
+// one recovers to the fault-free answer, then SIGKILLs whole durable runs
+// mid-flight and verifies --resume reproduces the uninterrupted digest
+// (docs/RECOVERY.md).  Both exit nonzero on divergence or an oracle firing.
+//
+// `run` executes one application end to end and prints its PerfCounters
+// digest.  With --ckpt-dir it is a durable run: epochs are committed to disk
+// (docs/RECOVERY.md), SIGINT/SIGTERM flush a final checkpoint and exit at the
+// next boundary, and --resume continues a killed run bit-exactly.
+// --watchdog SEC aborts (exit 3) with a wait-for report if the simulation
+// stops making progress for that many wall-seconds.
+//
+// Unknown subcommands or flags exit 2 with the usage line.
 //
 // A release-style CLI for quick what-if questions ("what does the remote
 // miss cost on an 8-node machine with 256 KB caches?") without writing a
 // program against the library.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,15 +52,27 @@
 #include "spp/apps/ppm/ppm.h"
 #include "spp/arch/machine.h"
 #include "spp/check/check.h"
+#include "spp/ckpt/durable.h"
 #include "spp/fault/fault.h"
 #include "spp/prof/profiler.h"
 #include "spp/pvm/pvm.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/sync.h"
+#include "spp/rt/watchdog.h"
 
 using namespace spp;
 
 namespace {
+
+constexpr const char kUsage[] =
+    "usage: sppsim-explore "
+    "latency|forkjoin|barrier|message|chaos|check|survive|run|map\n"
+    "  common:  [--nodes N] [--threads T] [--bytes B] [--l1-kb K]\n"
+    "           [--rounds R] [--fault-plan FILE]\n"
+    "  run:     --app nbody|fem|pic|ppm|nbody-pvm|pic-pvm [--steps S]\n"
+    "           [--ckpt-dir DIR] [--ckpt-interval K] "
+    "[--ckpt-wall-interval SEC]\n"
+    "           [--resume] [--watchdog SEC] [--kill-after-writes N]\n";
 
 struct Args {
   std::string cmd = "latency";
@@ -55,28 +82,103 @@ struct Args {
   std::uint64_t l1_kb = 1024;
   unsigned rounds = 64;
   std::string fault_plan;  ///< path to a text fault plan, "" = none.
+  // `run` subcommand (durable checkpoints; docs/RECOVERY.md):
+  std::string app = "nbody";
+  unsigned steps = 0;               ///< 0 = the app's default.
+  std::string ckpt_dir;             ///< "" = durability off.
+  std::uint64_t ckpt_interval = 1;  ///< sim steps per epoch.
+  double ckpt_wall = 0.0;           ///< min wall-seconds between disk writes.
+  bool resume = false;
+  double watchdog = 0.0;            ///< stall abort threshold, 0 = off.
+  unsigned kill_after_writes = 0;   ///< test hook: SIGKILL self after N commits.
 
-  static Args parse(int argc, char** argv) {
-    Args a;
-    if (argc > 1 && argv[1][0] != '-') a.cmd = argv[1];
-    for (int i = 1; i < argc; ++i) {
-      auto val = [&](const char* flag) -> const char* {
-        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-          return argv[++i];
+  /// Strict parse: unknown subcommands or flags (and flags missing their
+  /// value) fail, and the caller exits 2 with the usage line.
+  static bool parse(int argc, char** argv, Args& a) {
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') a.cmd = argv[i++];
+    static const char* kCmds[] = {"latency", "forkjoin", "barrier", "message",
+                                  "chaos",   "check",    "survive", "run",
+                                  "map"};
+    if (std::find_if(std::begin(kCmds), std::end(kCmds), [&](const char* c) {
+          return a.cmd == c;
+        }) == std::end(kCmds)) {
+      std::fprintf(stderr, "sppsim-explore: unknown command '%s'\n",
+                   a.cmd.c_str());
+      return false;
+    }
+    for (; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "sppsim-explore: %s needs a value\n",
+                       flag.c_str());
+          return nullptr;
         }
-        return nullptr;
+        return argv[++i];
       };
-      if (const char* v = val("--nodes")) a.nodes = std::atoi(v);
-      if (const char* v = val("--threads")) a.threads = std::atoi(v);
-      if (const char* v = val("--bytes")) a.bytes = std::atoll(v);
-      if (const char* v = val("--l1-kb")) a.l1_kb = std::atoll(v);
-      if (const char* v = val("--rounds")) a.rounds = std::atoi(v);
-      if (const char* v = val("--fault-plan")) a.fault_plan = v;
+      const char* v = nullptr;
+      if (flag == "--nodes") {
+        if (!(v = value())) return false;
+        a.nodes = std::atoi(v);
+      } else if (flag == "--threads") {
+        if (!(v = value())) return false;
+        a.threads = std::atoi(v);
+      } else if (flag == "--bytes") {
+        if (!(v = value())) return false;
+        a.bytes = std::atoll(v);
+      } else if (flag == "--l1-kb") {
+        if (!(v = value())) return false;
+        a.l1_kb = std::atoll(v);
+      } else if (flag == "--rounds") {
+        if (!(v = value())) return false;
+        a.rounds = std::atoi(v);
+      } else if (flag == "--fault-plan") {
+        if (!(v = value())) return false;
+        a.fault_plan = v;
+      } else if (flag == "--app") {
+        if (!(v = value())) return false;
+        a.app = v;
+      } else if (flag == "--steps") {
+        if (!(v = value())) return false;
+        a.steps = std::atoi(v);
+      } else if (flag == "--ckpt-dir") {
+        if (!(v = value())) return false;
+        a.ckpt_dir = v;
+      } else if (flag == "--ckpt-interval") {
+        if (!(v = value())) return false;
+        a.ckpt_interval = std::atoll(v);
+      } else if (flag == "--ckpt-wall-interval") {
+        if (!(v = value())) return false;
+        a.ckpt_wall = std::atof(v);
+      } else if (flag == "--resume") {
+        a.resume = true;
+      } else if (flag == "--watchdog") {
+        if (!(v = value())) return false;
+        a.watchdog = std::atof(v);
+      } else if (flag == "--kill-after-writes") {
+        if (!(v = value())) return false;
+        a.kill_after_writes = std::atoi(v);
+      } else {
+        std::fprintf(stderr, "sppsim-explore: unknown option '%s'\n",
+                     flag.c_str());
+        return false;
+      }
+    }
+    static const char* kApps[] = {"nbody", "fem",       "pic",
+                                  "ppm",   "nbody-pvm", "pic-pvm"};
+    if (a.cmd == "run" &&
+        std::find_if(std::begin(kApps), std::end(kApps), [&](const char* c) {
+          return a.app == c;
+        }) == std::end(kApps)) {
+      std::fprintf(stderr, "sppsim-explore: unknown app '%s'\n", a.app.c_str());
+      return false;
     }
     if (a.nodes < 1) a.nodes = 1;
     if (a.nodes > 16) a.nodes = 16;
     if (a.rounds < 1) a.rounds = 1;
-    return a;
+    if (a.ckpt_interval < 1) a.ckpt_interval = 1;
+    return true;
   }
 };
 
@@ -398,6 +500,80 @@ int cmd_survive(const Args& a) {
                                r.final.pz};
   });
 
+  // --- host-kill sweep: SIGKILL the whole process mid-run, then --resume ---
+  // The durable-checkpoint layer (spp::ckpt::Disk, docs/RECOVERY.md): a
+  // forked child runs the app durably and the session SIGKILLs it after the
+  // second disk commit -- a genuine host kill, no unwinding, no flush.  A
+  // fresh run with --resume must reach the uninterrupted run's exact digest.
+  std::printf("\nhost-kill sweep: durable run, SIGKILL after 2 epoch "
+              "commits, then --resume\n\n");
+
+  const auto host_kill = [&](const char* name, auto&& durable_run) {
+    char tmpl[] = "/tmp/sppsim-survive-XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      std::printf("  %-12s FAILED: mkdtemp\n", name);
+      ++failures;
+      return;
+    }
+    const std::string base = tmpl;
+
+    const auto digest_of = [&](const std::string& dir, bool resume,
+                               unsigned kill_after) -> std::uint64_t {
+      rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+      ckpt::DurableSpec spec;
+      spec.dir = dir;
+      spec.interval = 2;
+      spec.resume = resume;
+      spec.test_kill_after_writes = kill_after;
+      runtime.run([&] { durable_run(runtime, spec); });
+      return runtime.machine().perf().digest(runtime.elapsed());
+    };
+
+    const std::uint64_t want = digest_of(base + "/base", false, 0);
+
+    const pid_t pid = fork();
+    if (pid == 0) {
+      digest_of(base + "/kill", false, 2);
+      _exit(0);  // unreachable: the kill fires at the second commit.
+    }
+    int wstatus = 0;
+    std::string why;
+    if (pid < 0 || waitpid(pid, &wstatus, 0) != pid) {
+      why += " fork/wait";
+    } else if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGKILL) {
+      why += " child-not-SIGKILLed";
+    }
+    std::uint64_t got = 0;
+    try {
+      got = digest_of(base + "/kill", true, 0);
+    } catch (const std::exception& e) {
+      why += std::string(" resume-failed(") + e.what() + ")";
+    }
+    if (why.empty() && got != want) why += " digest-diverged";
+    std::printf("  %-12s resume digest %016llx  %s%s\n", name,
+                static_cast<unsigned long long>(got),
+                why.empty() ? "recovered" : "FAILED:", why.c_str());
+    if (!why.empty()) ++failures;
+    std::error_code ec;
+    std::filesystem::remove_all(base, ec);
+  };
+
+  host_kill("nbody", [&](rt::Runtime& rt, const ckpt::DurableSpec& spec) {
+    nbody::NbodyConfig cfg;
+    cfg.n = 256;
+    cfg.steps = 4;
+    nbody::NbodyShared app(rt, cfg, a.threads, rt::Placement::kUniform);
+    app.load_plummer();
+    (void)app.run_durable(spec);
+  });
+  host_kill("nbody-pvm", [&](rt::Runtime& rt, const ckpt::DurableSpec& spec) {
+    nbody::NbodyConfig cfg;
+    cfg.n = 256;
+    cfg.steps = 4;
+    nbody::NbodyPvm app(rt, cfg, a.threads, rt::Placement::kUniform);
+    (void)app.run_durable(spec);
+  });
+
   if (failures != 0) {
     std::printf("\nsurvive: %u scenario(s) FAILED\n", failures);
     return 1;
@@ -522,6 +698,105 @@ int cmd_check(const Args& a) {
   return 0;
 }
 
+/// Runs one application end to end and prints its PerfCounters digest.  With
+/// --ckpt-dir the run is durable (epoch commits to disk, graceful SIGINT/
+/// SIGTERM shutdown, bit-exact --resume); without it the app's plain run()
+/// path executes, which charges nothing extra (zero-cost discipline).
+int cmd_run(const Args& a) {
+  if (a.ckpt_dir.empty() &&
+      (a.resume || a.kill_after_writes != 0 || a.ckpt_wall > 0)) {
+    std::fprintf(stderr,
+                 "sppsim-explore: --resume/--kill-after-writes/"
+                 "--ckpt-wall-interval need --ckpt-dir\n");
+    return 2;
+  }
+  ckpt::install_shutdown_handlers();
+  ckpt::DurableSpec spec;
+  spec.dir = a.ckpt_dir;
+  spec.interval = a.ckpt_interval;
+  spec.wall_interval = a.ckpt_wall;
+  spec.resume = a.resume;
+  spec.test_kill_after_writes = a.kill_after_writes;
+
+  rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+  const auto inj = injector_for(a, runtime);
+  std::unique_ptr<rt::Watchdog> dog;
+  if (a.watchdog > 0) {
+    dog = std::make_unique<rt::Watchdog>(runtime.conductor(), a.watchdog);
+  }
+
+  const unsigned T = a.threads;
+  const auto pl = rt::Placement::kUniform;
+  runtime.run([&] {
+    if (a.app == "nbody") {
+      nbody::NbodyConfig cfg;
+      cfg.n = 256;
+      cfg.steps = a.steps ? a.steps : 4;
+      nbody::NbodyShared app(runtime, cfg, T, pl);
+      app.load_plummer();
+      const auto r = spec.enabled() ? app.run_durable(spec) : app.run();
+      std::printf("nbody: %zu bodies, %u steps, %.1f MFLOPS\n", cfg.n,
+                  cfg.steps, r.mflops);
+    } else if (a.app == "fem") {
+      fem::FemConfig cfg;
+      cfg.nx = 24;
+      cfg.ny = 12;
+      cfg.steps = a.steps ? a.steps : 6;
+      fem::FemGas app(runtime, cfg, T, pl);
+      app.init_blast(2.0, 3.0);
+      const auto r = spec.enabled() ? app.run_durable(spec) : app.run();
+      std::printf("fem: %ux%u blast, %u steps, %.1f MFLOPS\n", cfg.nx, cfg.ny,
+                  cfg.steps, r.mflops);
+    } else if (a.app == "pic") {
+      pic::PicConfig cfg;
+      cfg.nx = cfg.ny = cfg.nz = 8;
+      cfg.steps = a.steps ? a.steps : 6;
+      pic::PicShared app(runtime, cfg, T, pl);
+      const auto r = spec.enabled() ? app.run_durable(spec) : app.run();
+      std::printf("pic: %zu^3 mesh, %u steps, %.1f MFLOPS\n", cfg.nx,
+                  cfg.steps, r.mflops);
+    } else if (a.app == "ppm") {
+      ppm::PpmConfig cfg;
+      cfg.nx = 24;
+      cfg.ny = 48;
+      cfg.tiles_x = 2;
+      cfg.tiles_y = 4;
+      cfg.steps = a.steps ? a.steps : 4;
+      ppm::PpmTiled app(runtime, cfg, T, pl);
+      app.init_sod_x();
+      const auto r = spec.enabled() ? app.run_durable(spec) : app.run();
+      std::printf("ppm: %zux%zu sod, %u steps, %.1f MFLOPS\n", cfg.nx, cfg.ny,
+                  cfg.steps, r.mflops);
+    } else if (a.app == "nbody-pvm") {
+      nbody::NbodyConfig cfg;
+      cfg.n = 256;
+      cfg.steps = a.steps ? a.steps : 4;
+      nbody::NbodyPvm app(runtime, cfg, T, pl);
+      const auto r = spec.enabled() ? app.run_durable(spec) : app.run();
+      std::printf("nbody-pvm: %zu bodies, %u steps, %.1f MFLOPS\n", cfg.n,
+                  cfg.steps, r.mflops);
+    } else {  // pic-pvm (names validated at parse time)
+      pic::PicConfig cfg;
+      cfg.nx = cfg.ny = cfg.nz = 8;
+      cfg.steps = a.steps ? a.steps : 6;
+      pic::PicPvm app(runtime, cfg, T, pl);
+      const auto r = spec.enabled() ? app.run_durable(spec) : app.run();
+      std::printf("pic-pvm: %zu^3 mesh, %u steps, %.1f MFLOPS\n", cfg.nx,
+                  cfg.steps, r.mflops);
+    }
+  });
+  dog.reset();
+
+  if (ckpt::shutdown_requested()) {
+    std::printf("run: shutdown requested; stopped at an epoch boundary with "
+                "the checkpoint on disk (continue with --resume)\n");
+  }
+  std::printf("digest: %016llx\n",
+              static_cast<unsigned long long>(
+                  runtime.machine().perf().digest(runtime.elapsed())));
+  return 0;
+}
+
 int cmd_map(const Args& a) {
   arch::Machine m(arch::Topology{.nodes = a.nodes}, cost_for(a));
   std::printf("SPP-1000, %u hypernode(s):\n", a.nodes);
@@ -541,7 +816,11 @@ int cmd_map(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args a = Args::parse(argc, argv);
+  Args a;
+  if (!Args::parse(argc, argv, a)) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
   try {
     if (a.cmd == "latency") return cmd_latency(a);
     if (a.cmd == "forkjoin") return cmd_forkjoin(a);
@@ -550,18 +829,14 @@ int main(int argc, char** argv) {
     if (a.cmd == "chaos") return cmd_chaos(a);
     if (a.cmd == "check") return cmd_check(a);
     if (a.cmd == "survive") return cmd_survive(a);
-    if (a.cmd == "map") return cmd_map(a);
+    if (a.cmd == "run") return cmd_run(a);
+    return cmd_map(a);  // "map": the command set is validated at parse time.
   } catch (const std::exception& e) {
-    // ConfigError for malformed plans; TimeoutError / runtime_error when a
+    // ConfigError for malformed plans; ckpt::Error for a corrupt / locked /
+    // missing checkpoint directory; TimeoutError / runtime_error when a
     // plan makes the machine unrecoverable (partitioned fabric, all CPUs
     // dead, retries exhausted).  Either way: report, don't abort.
     std::fprintf(stderr, "sppsim-explore: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr,
-               "usage: sppsim-explore "
-               "latency|forkjoin|barrier|message|chaos|check|survive|map "
-               "[--nodes N] [--threads T] [--bytes B] [--l1-kb K] "
-               "[--rounds R] [--fault-plan FILE]\n");
-  return 2;
 }
