@@ -18,7 +18,17 @@
 # mid-run, and a --resume run must reproduce the digest of an
 # uninterrupted run bit-for-bit.
 #
-# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only|--bench-smoke]
+# A gating --lint-only leg builds and runs spp-lint (tools/spp_lint,
+# docs/STATIC_ANALYSIS.md): the fixture self-test must flag every seeded
+# violation, the tree must lint clean, and the arch-mutation inventory is
+# refreshed at build/lint/arch_mutations.json.
+#
+# A non-gating --analyze-only leg runs the clang static analyzer
+# (scan-build or clang --analyze) and clang-tidy's concurrency checks when
+# an LLVM toolchain is on PATH, and skips gracefully when it is not (the
+# reference CI image is gcc-only).
+#
+# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only|--bench-smoke|--lint-only|--analyze-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -109,6 +119,64 @@ fi
 if [[ "$MODE" == "all" || "$MODE" == "--werror-only" ]]; then
   echo "=== tier-1: strict warnings (-Werror -Wshadow -Wconversion) ==="
   run_suite build-werror -DSPP_WERROR=ON
+fi
+
+# Gating: project-specific static analysis (docs/STATIC_ANALYSIS.md).
+# spp-lint is self-contained C++ (no LLVM dependency), so this leg runs
+# everywhere the simulator builds.
+if [[ "$MODE" == "--lint-only" ]]; then
+  echo "=== lint: spp-lint self-test + tree scan ==="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON -DSPP_LINT=ON
+  cmake --build build -j "$JOBS" --target spp-lint
+  build/tools/spp_lint/spp-lint --self-test tests/lint_fixtures
+  build/tools/spp_lint/spp-lint --repo-root . \
+    --compile-db build/compile_commands.json \
+    --json-out build/lint/arch_mutations.json
+  echo "lint: tree clean; inventory at build/lint/arch_mutations.json"
+fi
+
+# Non-gating: clang static analyzer + clang-tidy concurrency checks.  The
+# reference image is gcc-only, so absence of an LLVM toolchain is a clean
+# skip, not a failure; CI runs this leg with continue-on-error anyway.
+if [[ "$MODE" == "--analyze-only" ]]; then
+  echo "=== analyze: clang static analyzer (non-gating) ==="
+  if command -v scan-build >/dev/null 2>&1; then
+    scan-build --status-bugs cmake -B build-analyze -S . \
+      -DCMAKE_BUILD_TYPE=Debug
+    scan-build --status-bugs cmake --build build-analyze -j "$JOBS"
+  elif command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-analyze -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCMAKE_CXX_COMPILER=clang++
+    cmake --build build-analyze -j "$JOBS"
+    # --analyze each TU against the same flags the real build used.
+    python3 - <<'EOF'
+import json, shlex, subprocess, sys
+cmds = json.load(open("build-analyze/compile_commands.json"))
+failures = 0
+for c in cmds:
+    args = shlex.split(c["command"])
+    args = [a for a in args if a not in ("-c",)]
+    out = subprocess.run(
+        [args[0], "--analyze", "-Xanalyzer", "-analyzer-werror"]
+        + args[1:-2] + [c["file"]],
+        cwd=c["directory"], capture_output=True, text=True)
+    if out.returncode != 0:
+        failures += 1
+        sys.stderr.write(out.stderr)
+print(f"clang --analyze: {len(cmds)} TUs, {failures} with reports")
+sys.exit(1 if failures else 0)
+EOF
+  else
+    echo "analyze: no scan-build or clang++ on PATH; skipping (gcc-only image)"
+  fi
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== analyze: clang-tidy concurrency-* ==="
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    git ls-files 'src/spp/*.cc' | xargs clang-tidy -p build \
+      --checks='-*,concurrency-*' --warnings-as-errors='*'
+  else
+    echo "analyze: no clang-tidy on PATH; skipping concurrency checks"
+  fi
 fi
 
 # Not part of "all": wall-clock numbers are host-dependent, so this leg is

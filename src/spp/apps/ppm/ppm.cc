@@ -26,6 +26,9 @@ constexpr double kPFloor = 1e-12;
 void reconstruct(const std::vector<double>& v, std::vector<double>& vl,
                  std::vector<double>& vr) {
   const std::size_t L = v.size();
+  // Scratch, fully reassigned on entry; this function is pure numeric (no rt
+  // calls), so no conductor hand-off can run while it holds live state.
+  // spp-lint: allow(sim-no-host-thread): per-host-thread scratch, reinitialized before use
   static thread_local std::vector<double> iface;
   iface.assign(L, 0.0);
   for (std::size_t k = 2; k + 1 < L; ++k) {
@@ -267,7 +270,12 @@ void pencil_update(std::array<std::vector<double>, 4>& cons,
                    std::vector<std::vector<double>>& species, double gamma,
                    double dt, std::size_t lo, std::size_t hi) {
   const std::size_t L = cons[0].size();
+  // Scratch buffers below are fully reassigned on entry and consumed before
+  // return; pencil_update is pure numeric (no rt calls), so no conductor
+  // hand-off can interleave another SThread while they hold live state.
+  // spp-lint: allow(sim-no-host-thread): per-host-thread scratch, reinitialized before use
   static thread_local std::vector<double> rho, un, ut, pr;
+  // spp-lint: allow(sim-no-host-thread): per-host-thread scratch, reinitialized before use
   static thread_local std::array<std::vector<double>, 4> el, er;
   rho.assign(L, 0);
   un.assign(L, 0);
@@ -291,6 +299,7 @@ void pencil_update(std::array<std::vector<double>, 4>& cons,
   }
 
   // Fluxes at interfaces k+1/2 for k in [lo-1, hi); then difference.
+  // spp-lint: allow(sim-no-host-thread): per-host-thread scratch, reinitialized before use
   static thread_local std::vector<std::array<double, 4>> flux;
   flux.assign(L, {0, 0, 0, 0});
   for (std::size_t k = lo - 1; k < hi; ++k) {
@@ -304,6 +313,7 @@ void pencil_update(std::array<std::vector<double>, 4>& cons,
   // (reconstructed, monotonized).  Because the species fluxes sum to the
   // mass flux when the fractions sum to one, total density stays the sum of
   // partials exactly.
+  // spp-lint: allow(sim-no-host-thread): per-host-thread scratch, reinitialized before use
   static thread_local std::vector<double> frac, fl_e, fr_e, sflux;
   for (auto& sp : species) {
     frac.assign(L, 0.0);

@@ -180,6 +180,9 @@ arch::PerfCounters load_perf(Reader& r) {
 // ---------------------------------------------------------------------------
 
 [[noreturn]] void throw_errno(const std::string& what) {
+  // Disk I/O runs only on the simulated main thread (the conductor admits
+  // one SThread at a time), so strerror's static buffer is never shared.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   throw Error("ckpt: " + what + ": " + std::strerror(errno));
 }
 
@@ -329,10 +332,15 @@ void Disk::acquire_lock() {
   throw Error("ckpt: could not acquire writer lock in '" + dir_ + "'");
 }
 
-void Disk::write_epoch(const EpochData& epoch) {
+void Disk::assert_writer() const {
   if (!locked_) {
-    throw Error("ckpt: write_epoch on a read-only Disk for '" + dir_ + "'");
+    throw Error("ckpt: write on a read-only Disk for '" + dir_ +
+                "' (writer LOCK not held)");
   }
+}
+
+void Disk::write_epoch(const EpochData& epoch) {
+  assert_writer();
   const Store::Snapshot& snap = epoch.snapshot;
   if (snap.names.size() != snap.blobs.size()) {
     throw Error("ckpt: epoch snapshot has " +

@@ -30,9 +30,21 @@
 
 #include "spp/arch/perf.h"
 #include "spp/ckpt/ckpt.h"
+#include "spp/lib/thread_annotations.h"
 #include "spp/sim/time.h"
 
 namespace spp::ckpt {
+
+/// Zero-size capability token standing for a checkpoint directory's on-disk
+/// LOCK file (docs/STATIC_ANALYSIS.md).  The LOCK is a *cross-process*
+/// exclusion -- no host mutex can express it -- but clang's thread-safety
+/// analysis can still machine-check the in-process protocol around it:
+/// every write path is annotated SPP_REQUIRES(writer_lock_), and the public
+/// boundary bridges runtime state to the analysis with
+/// Disk::assert_writer() (SPP_ASSERT_CAPABILITY).  A new write path that
+/// forgets the assert fails the clang SPP_WERROR leg instead of corrupting
+/// somebody's epoch set at 3am.
+class SPP_CAPABILITY("ckpt-writer-LOCK") WriterLockCap {};
 
 /// Everything a fresh process needs to continue a run from an epoch:
 /// the region payloads, the perf counters as of the boundary (they already
@@ -85,11 +97,16 @@ class Disk {
 
  private:
   void acquire_lock();
-  void write_manifest() const;
+  /// Throws Error unless this Disk holds the writer LOCK; afterwards the
+  /// static analysis treats writer_lock_ as held (the runtime/static bridge
+  /// described on WriterLockCap).
+  void assert_writer() const SPP_ASSERT_CAPABILITY(writer_lock_);
+  void write_manifest() const SPP_REQUIRES(writer_lock_);
   std::string path(const std::string& name) const { return dir_ + "/" + name; }
 
   std::string dir_;
-  bool locked_ = false;
+  bool locked_ = false;  ///< we hold <dir>/LOCK (mirrors writer_lock_).
+  WriterLockCap writer_lock_;
 };
 
 }  // namespace spp::ckpt

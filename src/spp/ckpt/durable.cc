@@ -67,6 +67,7 @@ bool DurableSession::boundary(std::uint64_t step) {
   store_->capture(step);
   const bool stop = shutdown_requested();
 
+  // spp-lint: allow(sim-no-wallclock): wall_interval throttles disk commits only; no sim state depends on it
   const auto now = std::chrono::steady_clock::now();
   const bool wall_due =
       spec_.wall_interval <= 0.0 || writes_ == 0 ||

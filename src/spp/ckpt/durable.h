@@ -27,6 +27,7 @@
 // to disk, and returns false so the driver exits cleanly.
 #pragma once
 
+// spp-lint: allow(sim-no-wallclock): wall_interval throttles disk commits only; no sim state depends on it
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -107,6 +108,12 @@ class DurableSession {
   bool skip_once_ = false;
   bool stopped_ = false;
   unsigned writes_ = 0;
+  /// Host-time stamp of the last disk commit.  Deliberate wall-clock use:
+  /// --ckpt-wall-interval rate-limits *durability*, which must track real
+  /// elapsed time (crash exposure), while the simulation itself stays a
+  /// pure function of sim::Time.  Skipping a commit changes only which
+  /// epochs exist on disk, never any counter or digest.
+  // spp-lint: allow(sim-no-wallclock): wall_interval throttles disk commits only; no sim state depends on it
   std::chrono::steady_clock::time_point last_write_{};
 };
 

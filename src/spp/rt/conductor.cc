@@ -39,6 +39,9 @@ bool fibers_available() {
 ConductorBackend default_conductor_backend() {
   static const ConductorBackend backend = [] {
     if (!fibers_available()) return ConductorBackend::kThreads;
+    // Read once, before any watchdog or conductor thread exists, and only
+    // ever from this static initializer -- no concurrent setenv can race it.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("SPP_CONDUCTOR")) {
       if (std::strcmp(env, "threads") == 0) return ConductorBackend::kThreads;
       if (std::strcmp(env, "fibers") == 0) return ConductorBackend::kFibers;
@@ -100,8 +103,8 @@ void SThread::fiber_body() {
 void SThread::os_body() {
   // Wait for the first grant before touching anything.
   {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [this] { return may_run_ || shutdown_; });
+    HostLock lk(mu_);
+    while (!may_run_ && !shutdown_) cv_.wait(mu_);
     if (shutdown_) {
       state_ = State::kDone;
       return;
@@ -120,7 +123,7 @@ void SThread::os_body() {
   }
   g_current = nullptr;
   // Final hand-back: mark done; conductor joins us later.
-  std::unique_lock lk(mu_);
+  HostLock lk(mu_);
   state_ = State::kDone;
   handed_back_ = true;
   cv_.notify_all();
@@ -132,20 +135,24 @@ void SThread::hand_back(State next_state) {
     Fiber::switch_to(fiber_, conductor_->main_ctx_);
     // Resumed by run_once (which already marked us Running) or by
     // shutdown_all (unwind).
-    if (shutdown_) throw ShutdownSignal{};
+    if (fiber_shutdown_) throw ShutdownSignal{};
     return;
   }
-  std::unique_lock lk(mu_);
-  state_ = next_state;
-  handed_back_ = true;
-  cv_.notify_all();
-  cv_.wait(lk, [this] { return may_run_ || shutdown_; });
-  if (shutdown_) {
-    lk.unlock();
-    throw ShutdownSignal{};
+  bool unwind = false;
+  {
+    HostLock lk(mu_);
+    state_ = next_state;
+    handed_back_ = true;
+    cv_.notify_all();
+    while (!may_run_ && !shutdown_) cv_.wait(mu_);
+    if (shutdown_) {
+      unwind = true;
+    } else {
+      may_run_ = false;
+      state_ = State::kRunning;
+    }
   }
-  may_run_ = false;
-  state_ = State::kRunning;
+  if (unwind) throw ShutdownSignal{};
 }
 
 void SThread::run_once() {
@@ -157,11 +164,11 @@ void SThread::run_once() {
     g_current = nullptr;
     return;
   }
-  std::unique_lock lk(mu_);
+  HostLock lk(mu_);
   state_ = State::kRunning;
   may_run_ = true;
   cv_.notify_all();
-  cv_.wait(lk, [this] { return handed_back_; });
+  while (!handed_back_) cv_.wait(mu_);
   handed_back_ = false;
 }
 
@@ -184,7 +191,7 @@ void Conductor::shutdown_all() {
   for (auto& t : threads_) {
     if (backend_ == ConductorBackend::kFibers) {
       if (t->state_ == SThread::State::kDone) continue;
-      t->shutdown_ = true;
+      t->fiber_shutdown_ = true;
       if (t->started_) {
         // Resume the fiber so hand_back throws ShutdownSignal and the stack
         // unwinds; fiber_body marks Done and exits back here.
@@ -198,7 +205,7 @@ void Conductor::shutdown_all() {
       continue;
     }
     {
-      std::lock_guard lk(t->mu_);
+      HostLock lk(t->mu_);
       t->shutdown_ = true;
       t->cv_.notify_all();
     }

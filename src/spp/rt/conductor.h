@@ -21,12 +21,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -34,7 +32,9 @@
 #include <vector>
 
 #include "spp/arch/machine.h"
+#include "spp/lib/thread_annotations.h"
 #include "spp/rt/fiber.h"
+#include "spp/rt/host_mutex.h"
 #include "spp/sim/time.h"
 
 namespace spp::rt {
@@ -132,18 +132,27 @@ class SThread {
   BlockReason reason_;  ///< wait-for edge while Blocked.
   std::function<void()> fn_;
 
-  // Thread backend state.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool may_run_ = false;      // conductor -> thread
-  bool handed_back_ = false;  // thread -> conductor
-  bool shutdown_ = false;     // conductor -> thread: unwind and exit
+  // Thread backend state.  mu_ orders the one-at-a-time conductor<->thread
+  // ping-pong; the three handshake flags below are the only state both host
+  // threads touch concurrently and are machine-checked against mu_ by the
+  // clang -Wthread-safety leg (docs/STATIC_ANALYSIS.md).  state_/clock_ are
+  // NOT guarded: each is written on one side of the handshake and read on
+  // the other only after the mutex release/acquire pair that completes it,
+  // so the handshake itself publishes them.
+  HostMutex mu_;
+  HostCondVar cv_;
+  bool may_run_ SPP_GUARDED_BY(mu_) = false;      // conductor -> thread
+  bool handed_back_ SPP_GUARDED_BY(mu_) = false;  // thread -> conductor
+  bool shutdown_ SPP_GUARDED_BY(mu_) = false;     // conductor -> thread:
+                                                  // unwind and exit
   std::exception_ptr error_;  // exception that escaped fn_, if any
   std::thread os_;
 
-  // Fiber backend state.
+  // Fiber backend state.  Everything here runs on the conductor's single
+  // host thread, so none of it is (or needs to be) lock-protected.
   Fiber fiber_;
   bool started_ = false;  ///< the fiber has been entered at least once.
+  bool fiber_shutdown_ = false;  ///< conductor asks the fiber to unwind.
 };
 
 /// Owns all simulated threads and runs the scheduling loop.
@@ -217,8 +226,15 @@ class Conductor {
   /// Monotonic count of scheduling dispatches, bumped once per run_once().
   /// The only cross-thread-readable signal the conductor exports: the
   /// rt::Watchdog polls it from its own OS thread to detect a wedged
-  /// simulation (no dispatches for N wall-seconds).  Relaxed atomics -- a
-  /// stale read just delays stall detection by one poll.
+  /// simulation (no dispatches for N wall-seconds).
+  ///
+  /// Memory order: relaxed on both sides, deliberately.  The counter is
+  /// monotonic and carries no payload -- the watchdog only compares two
+  /// reads for *inequality*, never dereferences anything published by the
+  /// increment -- so no acquire/release pairing is needed; a stale read
+  /// just delays stall detection by at most one 100 ms poll.  Audited under
+  /// the tsan CI leg (tests/test_rt.cc, Watchdog.PollsLiveRunWithoutRaces;
+  /// docs/STATIC_ANALYSIS.md).
   std::uint64_t progress() const {
     return progress_.load(std::memory_order_relaxed);
   }

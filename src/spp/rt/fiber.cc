@@ -1,9 +1,11 @@
 #include "spp/rt/fiber.h"
 
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "spp/lib/thread_annotations.h"
+#include "spp/rt/host_mutex.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
@@ -77,11 +79,11 @@ struct StackPool {
     void* base;
     std::size_t bytes;
   };
-  std::mutex mu;
-  std::vector<Item> free;
+  HostMutex mu;
+  std::vector<Item> free SPP_GUARDED_BY(mu);
 
   void* acquire(std::size_t bytes) {
-    std::lock_guard<std::mutex> lock(mu);
+    HostLock lock(mu);
     for (std::size_t i = free.size(); i-- > 0;) {
       if (free[i].bytes == bytes) {
         void* base = free[i].base;
@@ -94,13 +96,16 @@ struct StackPool {
   }
 
   bool release(void* base, std::size_t bytes) {
-    std::lock_guard<std::mutex> lock(mu);
+    HostLock lock(mu);
     if (free.size() >= kMaxFree) return false;
     free.push_back({base, bytes});
     return true;
   }
 
-  ~StackPool() {
+  // Destructor runs only at process exit (the singleton below is leaked on
+  // purpose, so in practice never); no other thread can exist then, hence
+  // the lockless walk is safe and exempt from analysis.
+  ~StackPool() SPP_NO_THREAD_SAFETY_ANALYSIS {
     for (const Item& i : free) munmap(i.base, i.bytes);
   }
 };

@@ -1,0 +1,78 @@
+// Capability-annotated host-mutex wrappers (docs/STATIC_ANALYSIS.md).
+//
+// libstdc++'s std::mutex carries no clang capability attribute, so
+// `-Wthread-safety` cannot see through it; these thin wrappers exist purely
+// to make the simulator's few host-level locks statically checkable.  They
+// add no state and no indirection beyond the wrapped primitive -- the
+// annotations compile away entirely off clang (spp/lib/thread_annotations.h).
+//
+// Host locks in this codebase are rare by design (exactly one simulated
+// thread runs at a time; see conductor.h).  The inventory:
+//   - SThread's handoff mutex (OS-thread conductor backend),
+//   - the fiber stack pool's free-list mutex,
+// both in src/spp/rt/.  spp-lint's sim-no-host-thread check keeps host
+// primitives -- including these wrappers -- out of simulated code.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "spp/lib/thread_annotations.h"
+
+namespace spp::rt {
+
+/// std::mutex with the clang capability attribute.
+class SPP_CAPABILITY("mutex") HostMutex {
+ public:
+  HostMutex() = default;
+  HostMutex(const HostMutex&) = delete;
+  HostMutex& operator=(const HostMutex&) = delete;
+
+  void lock() SPP_ACQUIRE() { mu_.lock(); }
+  void unlock() SPP_RELEASE() { mu_.unlock(); }
+  bool try_lock() SPP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class HostCondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for HostMutex (the std::lock_guard shape, annotated).
+class SPP_SCOPED_CAPABILITY HostLock {
+ public:
+  explicit HostLock(HostMutex& mu) SPP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~HostLock() SPP_RELEASE() { mu_.unlock(); }
+
+  HostLock(const HostLock&) = delete;
+  HostLock& operator=(const HostLock&) = delete;
+
+ private:
+  HostMutex& mu_;
+};
+
+/// Condition variable waiting on a HostMutex the caller already holds.
+/// wait() releases and reacquires the mutex internally (the usual condvar
+/// contract), which the analysis models via the SPP_REQUIRES: the caller
+/// must hold the mutex across the call, and guarded predicate state read in
+/// the wait loop is therefore statically proven protected.
+class HostCondVar {
+ public:
+  /// Blocks until notified; spurious wakeups possible, so call in a loop
+  /// re-testing the guarded predicate.
+  void wait(HostMutex& mu) SPP_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait and
+    // release() it back before unlocking would happen: ownership stays with
+    // the caller's HostLock.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace spp::rt

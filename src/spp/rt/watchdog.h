@@ -49,6 +49,13 @@ class Watchdog {
   Conductor* conductor_;
   double stall_seconds_;
   std::function<void()> dump_;
+  /// Destructor -> poll thread stop request.  Relaxed order is sufficient:
+  /// the flag is a pure on/off signal with no associated payload, and the
+  /// destructor's thread_.join() provides the synchronization that makes
+  /// everything the poll thread did visible afterwards.  The watchdog's
+  /// only other cross-thread read is Conductor::progress(), also relaxed
+  /// (see its comment); both are exercised by the tsan CI leg via
+  /// Watchdog.PollsLiveRunWithoutRaces (docs/STATIC_ANALYSIS.md).
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };

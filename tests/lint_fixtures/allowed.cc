@@ -1,0 +1,19 @@
+// Negative fixture for the suppression mechanism: each seeded violation
+// carries a reasoned `spp-lint: allow(...)` annotation (same line or the
+// line above), so nothing may be reported.
+// spp-lint-fixture: as-path src/spp/sim/allowed.cc
+// spp-lint-fixture: expect none
+
+// spp-lint: allow(sim-no-wallclock): fixture exercising same-line-above suppression
+#include <chrono>
+
+namespace spp::sim {
+
+double allowed_elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();  // spp-lint: allow(sim-no-wallclock): fixture exercising same-line suppression
+  // spp-lint: allow(sim-no-wallclock): fixture exercising line-above suppression
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace spp::sim

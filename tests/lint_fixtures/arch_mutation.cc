@@ -1,0 +1,54 @@
+// Seeded violations for the arch-mutation-charged check: cross-module arch
+// state mutation outside the charged accessors.  The legitimate patterns in
+// ok_patterns() must produce inventory sites but NO findings.
+// spp-lint-fixture: as-path src/spp/pvm/bad_mutation.cc
+// spp-lint-fixture: expect arch-mutation-charged
+
+#include <cstdint>
+
+namespace spp {
+
+struct PerfCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t messages = 0;
+};
+
+struct Machine {
+  PerfCounters& perf() { return perf_; }
+  void access(std::uint64_t va) { (void)va; }
+  void reset_stats() {}
+  void set_test_mutation(int kind) { (void)kind; }
+  PerfCounters perf_;
+};
+
+Machine& machine();
+
+void bad_sites() {
+  // flagged: the test-corruption hook is reachable from sim code.
+  machine().set_test_mutation(3);
+  // flagged: plain '=' overwrite of a perf counter loses accumulated state
+  // across resume.
+  machine().perf().loads = 0;
+}
+
+void bad_alias_site() {
+  PerfCounters& perf = machine().perf();
+  // flagged: overwrite through a counter alias.
+  perf.stores = 42;
+}
+
+void ok_patterns(Machine& mach) {
+  // Inventoried as "charged"/"control"/"counter" sites, but not findings:
+  mach.access(0x1000);
+  mach.reset_stats();
+  machine().perf().messages += 2;
+  ++machine().perf().loads;
+  auto& perf = mach.perf();
+  perf.stores += 1;
+  // Reads are neither sites nor findings.
+  const std::uint64_t seen = machine().perf().loads;
+  (void)seen;
+}
+
+}  // namespace spp

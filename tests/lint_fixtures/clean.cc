@@ -1,0 +1,38 @@
+// Negative fixture: idiomatic simulated code that must lint clean.
+// spp-lint-fixture: as-path src/spp/sim/clean.cc
+// spp-lint-fixture: expect none
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace spp::sim {
+
+using Time = std::uint64_t;
+
+struct Event {
+  Time at = 0;
+  int payload = 0;
+};
+
+/// Simulated time only: ordering, arithmetic, no host clock anywhere.
+Time advance(Time now, const std::vector<Event>& pending) {
+  Time next = now;
+  for (const Event& e : pending) {
+    if (e.at > next) next = e.at;
+  }
+  return next;
+}
+
+struct Counters {
+  std::map<int, std::uint64_t> per_cpu;
+
+  /// Ordered iteration under digest() is deterministic and fine.
+  std::uint64_t digest() const {
+    std::uint64_t h = 0;
+    for (const auto& [cpu, v] : per_cpu) h = h * 31 + cpu + v;
+    return h;
+  }
+};
+
+}  // namespace spp::sim

@@ -1,0 +1,44 @@
+// Seeded violation for the digest-iter-determinism check: a range-for over
+// an unordered container in a helper transitively reachable from digest().
+// spp-lint-fixture: as-path src/spp/prof/bad_digest.cc
+// spp-lint-fixture: expect digest-iter-determinism
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace spp {
+
+struct Telemetry {
+  std::unordered_map<int, std::uint64_t> per_cpu_;
+  std::map<int, std::uint64_t> ordered_;
+
+  std::uint64_t mix_in() const {
+    std::uint64_t h = 1469598103934665603ull;
+    // flagged: hash order varies across hosts, and this helper is called
+    // from digest() below.
+    for (const auto& [cpu, v] : per_cpu_) {
+      h = (h ^ (static_cast<std::uint64_t>(cpu) + v)) * 1099511628211ull;
+    }
+    return h;
+  }
+
+  std::uint64_t digest() const { return mix_in() ^ ordered_total(); }
+
+  std::uint64_t ordered_total() const {
+    std::uint64_t sum = 0;
+    // Not flagged: std::map iterates in key order, deterministically.
+    for (const auto& [cpu, v] : ordered_) sum += v;
+    return sum;
+  }
+};
+
+/// Not reachable from digest()/capture(): iterating unordered here is
+/// nondeterministic but harmless to the oracle, so it is not flagged.
+std::uint64_t unreachable_sum(const Telemetry& t) {
+  std::uint64_t sum = 0;
+  for (const auto& [cpu, v] : t.per_cpu_) sum += v;
+  return sum;
+}
+
+}  // namespace spp

@@ -1,0 +1,38 @@
+// Seeded violations for the sim-no-host-thread check: host threading
+// primitives in simulated code (outside src/spp/rt/ and src/spp/ckpt/).
+// spp-lint-fixture: as-path src/spp/pvm/bad_thread.cc
+// spp-lint-fixture: expect sim-no-host-thread
+
+#include <mutex>   // flagged: host lock include in sim code
+#include <thread>  // flagged: host thread include in sim code
+
+namespace spp::pvm {
+
+// flagged: thread_local state implies host threads.
+thread_local int bad_tls_counter = 0;
+
+void bad_spawn() {
+  // flagged: std::thread and std::mutex are host primitives.
+  std::mutex mu;
+  std::thread worker([&mu] {
+    std::lock_guard<std::mutex> lk(mu);  // flagged: std::lock_guard
+    ++bad_tls_counter;
+  });
+  worker.join();
+}
+
+int bad_pthread(void* (*fn)(void*)) {
+  // flagged: raw pthreads are host primitives too.
+  return pthread_create(nullptr, nullptr, fn, nullptr);
+}
+
+int not_flagged() {
+  // Unqualified names that happen to match std types are somebody else's
+  // API (e.g. a simulated `mutex` object), not host threading.
+  struct mutex {
+    int lock() { return 1; }
+  } sim_mutex;
+  return sim_mutex.lock();
+}
+
+}  // namespace spp::pvm

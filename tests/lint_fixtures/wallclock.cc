@@ -1,0 +1,43 @@
+// Seeded violations for the sim-no-wallclock check: every construct below
+// must be flagged when this file pretends to live in simulated code.
+// spp-lint-fixture: as-path src/spp/sim/bad_clock.cc
+// spp-lint-fixture: expect sim-no-wallclock
+
+#include <chrono>  // flagged: wall-clock include in sim code
+#include <random>  // flagged: entropy include in sim code
+
+namespace spp::sim {
+
+double bad_elapsed() {
+  // flagged: steady_clock is a wall-clock type.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+unsigned bad_seed() {
+  // flagged: random_device is a host entropy source.
+  std::random_device rd;
+  return rd();
+}
+
+long bad_time() {
+  // flagged: C wall-clock calls, unqualified and std-qualified.
+  long t = time(nullptr);
+  t += std::clock();
+  return t;
+}
+
+int not_flagged(int rand_count) {
+  // Members and non-std qualifications named like clock functions are fine:
+  // this is somebody's API, not <ctime>.
+  struct Msg {
+    int time(int x) { return x; }
+  } msg;
+  // A forbidden name inside a string or comment must never trip the lexer:
+  // "steady_clock::now()" stays inert.
+  const char* label = "steady_clock::now() rand() time()";
+  return msg.time(rand_count) + (label != nullptr ? 1 : 0);
+}
+
+}  // namespace spp::sim

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "spp/rt/garray.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/sync.h"
+#include "spp/rt/watchdog.h"
 
 namespace spp::rt {
 namespace {
@@ -357,6 +359,32 @@ TEST(RuntimeLifecycle, SequentialRunsAccumulateTime) {
   const sim::Time t1 = rt.elapsed();
   rt.run([&] { rt.work_flops(1000); });
   EXPECT_GT(rt.elapsed(), t1);
+}
+
+// The watchdog's only cross-thread traffic is the relaxed progress_ counter
+// and the relaxed stop_ flag (see their comments in conductor.h /
+// watchdog.h).  This test is the audit for that claim: it keeps the
+// conductor dispatching for several watchdog poll periods (the poll thread
+// samples progress() every 100 ms of wall time), so the tsan CI leg
+// observes the watchdog's reads genuinely overlapping live bumps.  A data
+// race here -- e.g. progress_ demoted to a plain uint64_t -- fails the tsan
+// leg; on non-tsan builds the test still pins the silent-while-live
+// contract.
+TEST(Watchdog, PollsLiveRunWithoutRaces) {
+  Runtime rt(Topology{.nodes = 2});
+  Watchdog dog(rt.conductor(), /*stall_seconds=*/60.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t rounds = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() < 0.35) {
+    rt.run([&] {
+      rt.parallel(8, Placement::kUniform,
+                  [&](unsigned, unsigned) { rt.work_flops(500); });
+    });
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 0u);
+  EXPECT_GT(rt.conductor().progress(), rounds);
 }
 
 }  // namespace

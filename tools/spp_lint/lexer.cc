@@ -1,0 +1,254 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace spplint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first so maximal munch works.  Only
+/// the ones the checks distinguish matter (`==` vs `=`, `::`, `->`, `++`,
+/// compound assignments); everything else can fall through to single chars.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  ".*",
+};
+
+/// Parses a comment body for spp-lint directives.
+void scan_comment(const std::string& body, int line, SourceFile& out) {
+  // `spp-lint: allow(check-a, check-b): free-form reason`
+  const std::string kAllow = "spp-lint: allow(";
+  std::size_t pos = body.find(kAllow);
+  if (pos != std::string::npos) {
+    std::size_t open = pos + kAllow.size();
+    std::size_t close = body.find(')', open);
+    if (close != std::string::npos) {
+      std::string inner = body.substr(open, close - open);
+      std::string id;
+      auto flush = [&] {
+        if (!id.empty()) out.allows[line].insert(id);
+        id.clear();
+      };
+      for (char c : inner) {
+        if (c == ',' || c == ' ' || c == '\t') {
+          flush();
+        } else {
+          id += c;
+        }
+      }
+      flush();
+    }
+  }
+  // `spp-lint-fixture: key rest-of-line-value`
+  const std::string kFixture = "spp-lint-fixture:";
+  pos = body.find(kFixture);
+  if (pos != std::string::npos) {
+    std::size_t p = pos + kFixture.size();
+    while (p < body.size() && (body[p] == ' ' || body[p] == '\t')) ++p;
+    std::size_t key_end = p;
+    while (key_end < body.size() && body[key_end] != ' ' &&
+           body[key_end] != '\t' && body[key_end] != '\n') {
+      ++key_end;
+    }
+    std::string key = body.substr(p, key_end - p);
+    std::size_t v = key_end;
+    while (v < body.size() && (body[v] == ' ' || body[v] == '\t')) ++v;
+    std::size_t v_end = body.find('\n', v);
+    if (v_end == std::string::npos) v_end = body.size();
+    while (v_end > v && (body[v_end - 1] == ' ' || body[v_end - 1] == '\r')) {
+      --v_end;
+    }
+    if (!key.empty()) out.directives.emplace_back(key, body.substr(v, v_end - v));
+  }
+}
+
+}  // namespace
+
+SourceFile lex_string(const std::string& src, const std::string& display_path) {
+  SourceFile out;
+  out.path = display_path;
+
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline.
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      scan_comment(src.substr(i, end - i), line, out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string body = src.substr(i, end - i);
+      scan_comment(body, line, out);
+      for (char bc : body) {
+        if (bc == '\n') ++line;
+      }
+      i = (end == n) ? n : end + 2;
+      continue;
+    }
+
+    // Preprocessor directive: consume the logical line (with \-continuations),
+    // recording #include targets.  Directive bodies produce no tokens.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i;
+      std::string dline;
+      while (j < n) {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          j += 2;
+          ++line;
+          continue;
+        }
+        if (src[j] == '\n') break;
+        dline += src[j];
+        ++j;
+      }
+      // Extract `include <name>` / `include "name"`.
+      std::size_t p = 1;  // past '#'
+      while (p < dline.size() && (dline[p] == ' ' || dline[p] == '\t')) ++p;
+      if (dline.compare(p, 7, "include") == 0) {
+        p += 7;
+        while (p < dline.size() && (dline[p] == ' ' || dline[p] == '\t')) ++p;
+        if (p < dline.size() && (dline[p] == '<' || dline[p] == '"')) {
+          const char close = dline[p] == '<' ? '>' : '"';
+          std::size_t q = dline.find(close, p + 1);
+          if (q != std::string::npos) {
+            out.includes.emplace_back(dline.substr(p + 1, q - p - 1), line);
+          }
+        }
+      }
+      i = j;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal: (u8|u|U|L)? R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && src[d] != '(' && delim.size() < 16) delim += src[d++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, d);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.toks.push_back({Token::Kind::kString, "<raw-string>", line});
+      i = (end == n) ? n : end + closer.size();
+      continue;
+    }
+
+    // String / char literal (with escapes).
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\' && j + 1 < n) {
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane.
+        ++j;
+      }
+      out.toks.push_back({Token::Kind::kString,
+                          c == '"' ? "<string>" : "<char>", start_line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    // Identifier / keyword.  A prefixed string (u8"...", L"...") lexes as
+    // ident+string, which is fine for our purposes.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      out.toks.push_back({Token::Kind::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Number (pp-number: digits, ., ', exponent signs, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t j = i + 1;
+      while (j < n &&
+             (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+              ((src[j] == '+' || src[j] == '-') &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.toks.push_back({Token::Kind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuator: longest match from the table, else one char.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        out.toks.push_back({Token::Kind::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+SourceFile lex_file(const std::string& fs_path,
+                    const std::string& display_path) {
+  std::FILE* f = std::fopen(fs_path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("spp-lint: cannot open " + fs_path);
+  }
+  std::string content;
+  char buf[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  return lex_string(content, display_path);
+}
+
+}  // namespace spplint

@@ -1,0 +1,53 @@
+// Token-level C++ front end for spp-lint (docs/STATIC_ANALYSIS.md).
+//
+// spp-lint's checks are *discipline* checks -- "no wall-clock in simulated
+// code", "arch state mutates only through charged accessors" -- that key off
+// identifiers, include directives, and small token shapes, not off types or
+// overload resolution.  A faithful lexer is therefore enough: it must get
+// comments, string/char literals (including raw strings), preprocessor
+// lines, and multi-character operators exactly right so that a forbidden
+// name inside a string literal is never flagged and a `==` is never
+// mistaken for an assignment.  This keeps the tool dependency-free (the CI
+// image has no libclang dev headers); the check logic in lint.cc is written
+// against this token interface so a clang LibTooling front end can replace
+// it file-for-file where LLVM dev packages exist.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spplint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+/// One analyzed file: its token stream plus the side tables the checks need.
+struct SourceFile {
+  /// Repo-relative path with forward slashes; checks scope on its prefix.
+  /// Fixtures override it with a `// spp-lint-fixture: as-path` directive.
+  std::string path;
+  std::vector<Token> toks;
+  /// #include targets in order: ("chrono", line), ("spp/rt/fiber.h", line).
+  std::vector<std::pair<std::string, int>> includes;
+  /// Lines carrying `// spp-lint: allow(<check>): reason` comments.  A
+  /// finding on the same line or the line directly below is suppressed.
+  std::map<int, std::set<std::string>> allows;
+  /// Fixture directives (`// spp-lint-fixture: key value`), in order.
+  std::vector<std::pair<std::string, std::string>> directives;
+};
+
+/// Lexes `content` as C++; `display_path` seeds SourceFile::path.
+SourceFile lex_string(const std::string& content,
+                      const std::string& display_path);
+
+/// Reads and lexes a file; throws std::runtime_error on I/O failure.
+SourceFile lex_file(const std::string& fs_path,
+                    const std::string& display_path);
+
+}  // namespace spplint
