@@ -18,6 +18,13 @@
 # mid-run, and a --resume run must reproduce the digest of an
 # uninterrupted run bit-for-bit.
 #
+# The sanitized leg also runs the disk-chaos smoke (sppsim-explore
+# chaos-disk, docs/RECOVERY.md "Host I/O faults & the degradation
+# ladder"): durable nbody runs under every injected host-I/O fault class
+# -- EIO, short write, fsync failure, ENOSPC, torn rename, read-side bit
+# rot -- and each must resume to the fault-free digest without ever
+# loading a corrupt epoch.
+#
 # A gating --lint-only leg builds and runs spp-lint (tools/spp_lint,
 # docs/STATIC_ANALYSIS.md): the fixture self-test must flag every seeded
 # violation, the tree must lint clean, and the arch-mutation inventory is
@@ -91,6 +98,17 @@ kill_resume_smoke() {
   echo "kill-resume smoke: resumed $got matches uninterrupted run"
 }
 
+# Disk-chaos smoke: durable nbody runs under each injected host-I/O fault
+# class (io::FaultPlan); every fault-free --resume must reproduce the
+# uninterrupted digest, and no run may ever load a corrupt epoch.  The
+# subcommand itself does the digest comparison and exits non-zero on any
+# divergence (exit codes are pinned in spp/rt/exit_codes.h).
+chaos_disk_smoke() {
+  local builddir="$1"
+  echo "=== tier-1: disk-chaos smoke ($builddir) ==="
+  "$builddir/tools/sppsim-explore" chaos-disk --nodes 2 --threads 8
+}
+
 if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
   echo "=== tier-1: address,undefined sanitized build ==="
   run_suite build-asan \
@@ -98,6 +116,7 @@ if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   survive_smoke build-asan
   kill_resume_smoke build-asan
+  chaos_disk_smoke build-asan
 fi
 
 if [[ "$MODE" == "--survive-only" ]]; then
@@ -107,6 +126,7 @@ if [[ "$MODE" == "--survive-only" ]]; then
   cmake --build build-asan -j "$JOBS" --target sppsim-explore
   survive_smoke build-asan
   kill_resume_smoke build-asan
+  chaos_disk_smoke build-asan
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then

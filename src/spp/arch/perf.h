@@ -77,6 +77,22 @@ struct PerfCounters {
   std::uint64_t deadlock_cycles = 0;   ///< wait-for cycles diagnosed.
   std::uint64_t deadlock_reports = 0;  ///< blocked-state diagnoses produced.
 
+  // --- host-I/O faults and durable-layer recovery (spp::io, ckpt) -----------
+  // All zero unless the host filesystem misbehaves (or an io::FaultPlan is
+  // armed); see docs/RECOVERY.md "Host I/O faults & the degradation ladder".
+  // These describe the HOST, not the simulated machine: they are excluded
+  // from digest() (like flops) so a run that weathered disk faults still
+  // reproduces the fault-free run's digest bit-for-bit, and they are never
+  // serialized into epoch files (a resumed process starts them at zero).
+  std::uint64_t io_faults_injected = 0;   ///< faults an armed plan delivered.
+  std::uint64_t io_transient_errors = 0;  ///< retryable failures observed.
+  std::uint64_t io_permanent_errors = 0;  ///< non-retryable failures observed.
+  std::uint64_t io_retries = 0;           ///< backoff-then-retry attempts.
+  std::uint64_t io_commit_failures = 0;   ///< epoch commits abandoned.
+  std::uint64_t io_degradations = 0;      ///< disk-commit stride widenings.
+  std::uint64_t io_memory_only_epochs = 0;  ///< boundaries with no disk at all.
+  std::uint64_t io_epochs_skipped = 0;    ///< corrupt epochs load fell past.
+
   CpuCounters total() const {
     CpuCounters t;
     for (const auto& c : cpu) {
@@ -111,6 +127,9 @@ struct PerfCounters {
   /// host; this is the oracle the determinism tests and sppsim-bench use
   /// (docs/PERFORMANCE.md).  `flops` is a double accumulated identically on
   /// every path and is deliberately excluded to keep the digest integral.
+  /// The io_* family is also deliberately excluded: those counters describe
+  /// host-filesystem weather, and a run that retried or degraded around
+  /// disk faults must still digest identically to the fault-free run.
   std::uint64_t digest(sim::Time elapsed) const {
     std::uint64_t h = 1469598103934665603ull;
     const auto mix = [&h](std::uint64_t v) {

@@ -1,33 +1,40 @@
 #include "spp/ckpt/disk.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cinttypes>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <filesystem>
-#include <system_error>
+
+#include "spp/io/io.h"
+
+// NOTE: all host file I/O in this translation unit goes through the spp::io
+// seam (io::File / io::Dir) so the durable layer inherits its fault
+// injection and transient/permanent error taxonomy; spp-lint's
+// posix-file-io check rejects raw POSIX file calls here.  The ::kill /
+// ::getpid below are process APIs, not file I/O.
+#include <unistd.h>
 
 namespace spp::ckpt {
 
 namespace {
 
-namespace fs = std::filesystem;
-
-// "SPPCKPT1" -- bumping the trailing digit is a format-version break on top
+// "SPPCKPT2" -- bumping the trailing digit is a format-version break on top
 // of the explicit version word (belt and braces: old readers reject on the
-// magic, new readers explain via the version).
+// magic, new readers explain via the version).  v2 added the trailing
+// header CRC: v1 left the header fields -- notably `clock` -- outside any
+// checksum, so a single flipped bit there could seed a resume with a wrong
+// clock and no diagnostic.
 constexpr std::array<char, 8> kMagic = {'S', 'P', 'P', 'C', 'K', 'P', 'T',
-                                        '1'};
-constexpr std::uint32_t kFormatVersion = 1;
-// magic + version + step + clock + payload_size + payload_crc + nregions.
-constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8 + 4 + 4;
+                                        '2'};
+constexpr std::uint32_t kFormatVersion = 2;
+// magic + version + step + clock + payload_size + payload_crc + nregions,
+// all covered by a trailing header CRC-32.
+constexpr std::size_t kHeaderCovered = 8 + 4 + 8 + 8 + 8 + 4 + 4;
+constexpr std::size_t kHeaderBytes = kHeaderCovered + 4;
 
 void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -82,7 +89,10 @@ struct Reader {
 // ---------------------------------------------------------------------------
 // Explicit field-by-field visitation, shared by save and load so the two can
 // never disagree on order.  `flops` is a double and rides along bit-cast;
-// everything else is a 64-bit integer.
+// everything else is a 64-bit integer.  The io_* counters are deliberately
+// NOT serialized: they describe the host's filesystem weather during one
+// process's lifetime, and a resumed process must start them at zero (see
+// perf.h).
 
 template <typename C, typename F>
 void visit_cpu_counters(C& c, F&& f) {
@@ -176,70 +186,30 @@ arch::PerfCounters load_perf(Reader& r) {
 }
 
 // ---------------------------------------------------------------------------
-// Durable file plumbing
+// Durable file plumbing (all through the spp::io seam)
 // ---------------------------------------------------------------------------
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  // Disk I/O runs only on the simulated main thread (the conductor admits
-  // one SThread at a time), so strerror's static buffer is never shared.
-  // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  throw Error("ckpt: " + what + ": " + std::strerror(errno));
-}
 
 /// Writes `data` to `path` and fsyncs it before closing.
 void write_file_synced(const std::string& path,
                        const std::vector<std::uint8_t>& data) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw_errno("open " + path);
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      throw_errno("write " + path);
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    throw_errno("fsync " + path);
-  }
-  ::close(fd);
+  io::File f = io::File::create(path);
+  f.write_all(data.data(), data.size());
+  f.sync();
+  f.close();
 }
 
-/// Makes a directory's entry list durable (the half of atomic-rename
-/// persistence most code forgets).
-void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;  // best effort: some filesystems refuse O_DIRECTORY.
-  ::fsync(fd);
-  ::close(fd);
-}
-
-/// Commits `data` under `final_name` in `dir` via tmp + fsync + rename.
+/// Commits `data` under `final_name` in `dir` via tmp + fsync + atomic
+/// rename + directory fsync.  Any failure -- host or injected -- surfaces
+/// as io::IoError; the file under the final name is either the old content
+/// or the new, never a torn mix (an *injected torn rename* deliberately
+/// violates this and must be caught by load-time CRCs).
 void commit_file(const std::string& dir, const std::string& final_name,
                  const std::vector<std::uint8_t>& data) {
   const std::string tmp = dir + "/" + final_name + ".tmp";
   const std::string final_path = dir + "/" + final_name;
   write_file_synced(tmp, data);
-  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
-    throw_errno("rename " + tmp + " -> " + final_path);
-  }
-  fsync_dir(dir);
-}
-
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw_errno("open " + path);
-  std::vector<std::uint8_t> data;
-  std::array<std::uint8_t, 65536> buf;
-  std::size_t n = 0;
-  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
-    data.insert(data.end(), buf.data(), buf.data() + n);
-  }
-  std::fclose(f);
-  return data;
+  io::Dir::rename(tmp, final_path);
+  io::Dir::sync(dir);
 }
 
 /// Parses "epoch-<digits>.ckpt"; returns false for anything else.
@@ -279,42 +249,40 @@ std::string Disk::epoch_filename(std::uint64_t step) {
 }
 
 Disk::Disk(std::string dir, bool read_only) : dir_(std::move(dir)) {
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec || !fs::is_directory(dir_)) {
-    throw Error("ckpt: cannot create checkpoint directory '" + dir_ + "'" +
-                (ec ? ": " + ec.message() : ""));
-  }
+  io::Dir::create_all(dir_);
   if (!read_only) acquire_lock();
 }
 
 Disk::~Disk() {
-  if (locked_) ::unlink(path("LOCK").c_str());
+  if (locked_) io::Dir::remove(path("LOCK"));
 }
 
 void Disk::acquire_lock() {
   const std::string lock = path("LOCK");
   for (int attempt = 0; attempt < 2; ++attempt) {
-    const int fd = ::open(lock.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-    if (fd >= 0) {
+    bool exists = false;
+    try {
+      io::File f = io::File::create_exclusive(lock);
       char buf[32];
       const int n = std::snprintf(buf, sizeof buf, "%ld\n",
                                   static_cast<long>(::getpid()));
-      (void)!::write(fd, buf, static_cast<std::size_t>(n));
-      ::close(fd);
+      f.write_all(buf, static_cast<std::size_t>(n));
+      f.close();
       locked_ = true;
       return;
+    } catch (const io::IoError& e) {
+      if (e.error() != EEXIST) throw;  // real host (or injected) failure.
+      exists = true;
     }
-    if (errno != EEXIST) throw_errno("create " + lock);
+    (void)exists;
     // Someone holds the lock.  A live holder is a concurrent writer and a
     // hard error; a dead one (the very SIGKILL --resume recovers from)
     // left a stale lock we take over.
     long pid = 0;
     try {
-      const std::vector<std::uint8_t> data = read_file(lock);
-      pid = std::atol(
-          std::string(data.begin(), data.end()).c_str());
-    } catch (const Error&) {
+      const std::vector<std::uint8_t> data = io::File::read_all(lock);
+      pid = std::atol(std::string(data.begin(), data.end()).c_str());
+    } catch (const io::IoError&) {
       pid = 0;  // racing unlink; retry the create.
     }
     if (pid > 0 && pid != static_cast<long>(::getpid()) &&
@@ -327,7 +295,7 @@ void Disk::acquire_lock() {
       throw Error("ckpt: checkpoint directory '" + dir_ +
                   "' is already open for writing by this process");
     }
-    ::unlink(lock.c_str());  // stale; take over on the next attempt.
+    io::Dir::remove(lock);  // stale; take over on the next attempt.
   }
   throw Error("ckpt: could not acquire writer lock in '" + dir_ + "'");
 }
@@ -369,6 +337,9 @@ void Disk::write_epoch(const EpochData& epoch) {
   put64(file, payload.size());
   put32(file, crc32(payload.data(), payload.size()));
   put32(file, static_cast<std::uint32_t>(snap.names.size()));
+  // v2: the header protects itself -- without this, a flipped bit in e.g.
+  // `clock` would resume a run from a wrong instant with no diagnostic.
+  put32(file, crc32(file.data(), kHeaderCovered));
   file.insert(file.end(), payload.begin(), payload.end());
 
   commit_file(dir_, epoch_filename(epoch.step), file);
@@ -387,12 +358,9 @@ void Disk::write_manifest() const {
 
 std::vector<std::uint64_t> Disk::epochs() const {
   std::vector<std::uint64_t> steps;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+  for (const std::string& name : io::Dir::list(dir_)) {
     std::uint64_t step = 0;
-    if (parse_epoch_name(entry.path().filename().string(), step)) {
-      steps.push_back(step);
-    }
+    if (parse_epoch_name(name, step)) steps.push_back(step);
   }
   std::sort(steps.begin(), steps.end());
   return steps;
@@ -400,7 +368,7 @@ std::vector<std::uint64_t> Disk::epochs() const {
 
 EpochData Disk::load_epoch(std::uint64_t step) const {
   const std::string name = epoch_filename(step);
-  const std::vector<std::uint8_t> file = read_file(path(name));
+  const std::vector<std::uint8_t> file = io::File::read_all(path(name));
 
   Reader r{file.data(), file.size(), name};
   std::array<char, 8> magic;
@@ -420,6 +388,10 @@ EpochData Disk::load_epoch(std::uint64_t step) const {
   const std::uint64_t payload_size = r.get64();
   const std::uint32_t payload_crc = r.get32();
   const std::uint32_t nregions = r.get32();
+  const std::uint32_t header_crc = r.get32();
+  if (crc32(file.data(), kHeaderCovered) != header_crc) {
+    throw Error("ckpt: " + name + " failed its header CRC (corrupt)");
+  }
   if (epoch.step != step) {
     throw Error("ckpt: " + name + " claims epoch " +
                 std::to_string(epoch.step));
@@ -465,14 +437,24 @@ EpochData Disk::load_epoch(std::uint64_t step) const {
 std::optional<EpochData> Disk::load_newest() const {
   std::vector<std::uint64_t> steps = epochs();
   for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    const char* why = nullptr;
+    std::string text;
     try {
       return load_epoch(*it);
     } catch (const Error& e) {
-      std::fprintf(stderr,
-                   "ckpt: skipping epoch %llu: %s; falling back to the "
-                   "previous epoch\n",
-                   static_cast<unsigned long long>(*it), e.what());
+      text = e.what();
+      why = "validation";
+    } catch (const io::IoError& e) {
+      // Unreadable file (vanished, injected read failure): same fallback
+      // as a corrupt one -- degrade the resume point by one interval.
+      text = e.what();
+      why = "read";
     }
+    ++epochs_skipped_;
+    std::fprintf(stderr,
+                 "ckpt: skipping epoch %llu (%s failure): %s; falling back "
+                 "to the previous epoch\n",
+                 static_cast<unsigned long long>(*it), why, text.c_str());
   }
   return std::nullopt;
 }

@@ -10,8 +10,9 @@
 //                             every epoch commit
 //   <dir>/LOCK                single-writer guard (pid of the live writer)
 //
-// Epoch files carry a fixed header (magic, format version, payload CRC-32)
-// and a per-region CRC-32 ahead of every region payload, so truncation, bit
+// Epoch files carry a fixed header (magic, format version, payload CRC-32,
+// and -- since format v2 -- a CRC-32 over the header fields themselves) and
+// a per-region CRC-32 ahead of every region payload, so truncation, bit
 // rot, and torn writes are all detected at load time.  Every file is
 // committed with the temp-file + fsync + atomic-rename + directory-fsync
 // protocol: a crash at any instant leaves either the old epoch set or the
@@ -19,7 +20,15 @@
 //
 // load_newest() walks the on-disk epochs newest-first and returns the first
 // one that passes full validation, so a corrupted latest epoch degrades the
-// resume point by one interval instead of killing the run.
+// resume point by one interval instead of killing the run; every epoch it
+// falls past is counted (epochs_skipped()) and surfaces in the recovery
+// report via PerfCounters::io_epochs_skipped.
+//
+// All host file I/O routes through the spp::io seam: host failures and
+// injected faults surface as io::IoError (errno + transient/permanent
+// taxonomy, docs/RECOVERY.md) while protocol/validation problems stay
+// ckpt::Error.  DurableSession turns IoError into retry-with-backoff or
+// graceful degradation.
 #pragma once
 
 #include <cstddef>
@@ -91,6 +100,10 @@ class Disk {
   /// Steps that have an epoch file on disk (validated or not), oldest first.
   std::vector<std::uint64_t> epochs() const;
 
+  /// Corrupt/unreadable epochs load_newest() has fallen past over this
+  /// Disk's lifetime (each one degraded a resume point by one interval).
+  std::uint64_t epochs_skipped() const { return epochs_skipped_; }
+
   const std::string& dir() const { return dir_; }
 
   static std::string epoch_filename(std::uint64_t step);
@@ -106,6 +119,9 @@ class Disk {
 
   std::string dir_;
   bool locked_ = false;  ///< we hold <dir>/LOCK (mirrors writer_lock_).
+  /// Mutable: load_newest() is logically const but keeps score of the
+  /// corrupt epochs it had to skip.
+  mutable std::uint64_t epochs_skipped_ = 0;
   WriterLockCap writer_lock_;
 };
 

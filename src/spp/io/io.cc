@@ -1,0 +1,383 @@
+#include "spp/io/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace spp::io {
+
+using Fate = FaultPlan::Fate;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The process-wide fault source.  Plain pointer by design: armed/disarmed
+// from the one thread that performs checkpoint I/O (see io.h).
+FaultPlan* g_plan = nullptr;
+
+std::string errno_text(int err) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- error path only.
+  const char* s = std::strerror(err);
+  return s != nullptr ? std::string(s) : std::string("errno ") +
+                                             std::to_string(err);
+}
+
+[[noreturn]] void throw_host(const std::string& action, int err, Op op) {
+  throw IoError("io: " + action + ": " + errno_text(err), err, op);
+}
+
+[[noreturn]] void throw_injected(const std::string& action, int err, Op op) {
+  throw IoError("io: " + action + ": " + errno_text(err) + " (injected)",
+                err, op, /*injected=*/true);
+}
+
+/// The single gate every wrapper passes through.  Disarmed: one pointer
+/// test, no counters, no Rng draws.
+FaultPlan::Fate consult(Op op) {
+  if (g_plan == nullptr) return {};
+  return g_plan->decide(op);
+}
+
+/// Raw whole-file read used only to stage injected torn renames; does NOT
+/// consult the fault plan or advance its operation counters.
+std::vector<std::uint8_t> raw_read(const std::string& path) {
+  std::vector<std::uint8_t> data;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return data;
+}
+
+}  // namespace
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kFsync: return "fsync";
+    case Op::kRename: return "rename";
+    case Op::kDirFsync: return "dir-fsync";
+  }
+  return "?";
+}
+
+Sev classify(int err) {
+  switch (err) {
+    case EIO:
+    case EINTR:
+    case EAGAIN:
+    case EBUSY:
+    case ETIMEDOUT:
+    case ESTALE:
+    case EMFILE:
+    case ENFILE:
+    case ENOMEM:
+      return Sev::kTransient;
+    default:
+      return Sev::kPermanent;
+  }
+}
+
+IoError::IoError(const std::string& what, int err, Op op, bool injected)
+    : std::runtime_error(what), err_(err), op_(op), injected_(injected) {}
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+
+FaultPlan& FaultPlan::fail_nth(Op op, std::uint64_t nth, int err) {
+  rules_.push_back({op, Fate::Kind::kFail, nth, false, 0.0, err, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_from(Op op, std::uint64_t nth, int err) {
+  rules_.push_back({op, Fate::Kind::kFail, nth, true, 0.0, err, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_rate(Op op, double p, int err) {
+  rules_.push_back({op, Fate::Kind::kFail, 0, false, p, err, true});
+  return *this;
+}
+
+FaultPlan& FaultPlan::short_write_nth(std::uint64_t nth) {
+  rules_.push_back({Op::kWrite, Fate::Kind::kShortWrite, nth, false, 0.0,
+                    EIO, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::torn_rename_nth(std::uint64_t nth) {
+  rules_.push_back({Op::kRename, Fate::Kind::kTornRename, nth, false, 0.0,
+                    EIO, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::bitrot_read_nth(std::uint64_t nth) {
+  rules_.push_back({Op::kRead, Fate::Kind::kBitRot, nth, false, 0.0, 0,
+                    false});
+  return *this;
+}
+
+void FaultPlan::validate() const {
+  for (const Rule& r : rules_) {
+    if (r.probabilistic && (r.p < 0.0 || r.p > 1.0)) {
+      throw ConfigError("io::FaultPlan: fail_rate probability must be in "
+                        "[0, 1]");
+    }
+    if (!r.probabilistic && r.nth < 1) {
+      throw ConfigError("io::FaultPlan: operation counts are 1-based");
+    }
+    if (r.kind == Fate::Kind::kFail && r.err <= 0) {
+      throw ConfigError("io::FaultPlan: fault errno must be positive");
+    }
+  }
+}
+
+FaultPlan::Fate FaultPlan::decide(Op op) {
+  const std::uint64_t n = ++counts_[static_cast<std::size_t>(op)];
+  for (const Rule& r : rules_) {
+    if (r.op != op) continue;
+    bool fire = false;
+    if (r.probabilistic) {
+      // Probabilistic rules draw from the plan Rng even when they miss, so
+      // the stream position depends only on the operation sequence.
+      fire = rng_.next_double() < r.p;
+    } else {
+      fire = r.persistent ? n >= r.nth : n == r.nth;
+    }
+    if (fire) {
+      ++injected_;
+      return {r.kind, r.err};
+    }
+  }
+  return {};
+}
+
+std::pair<std::uint64_t, std::uint8_t> FaultPlan::bitrot_point(
+    std::uint64_t size) {
+  if (size == 0) return {0, 0};
+  const std::uint64_t byte = rng_.below(size);
+  const auto mask = static_cast<std::uint8_t>(1u << rng_.below(8));
+  return {byte, mask};
+}
+
+void FaultPlan::reset() {
+  rng_ = sim::Rng(seed_);
+  for (std::uint64_t& c : counts_) c = 0;
+  injected_ = 0;
+}
+
+void arm_faults(FaultPlan* plan) {
+  if (plan != nullptr) {
+    plan->validate();
+    plan->reset();
+  }
+  g_plan = plan;
+}
+
+bool faults_armed() { return g_plan != nullptr; }
+
+FaultPlan* armed_plan() { return g_plan; }
+
+// ---------------------------------------------------------------------------
+// File
+
+File File::create(const std::string& path) {
+  const auto fate = consult(Op::kOpen);
+  if (fate.kind == Fate::Kind::kFail) {
+    throw_injected("open " + path, fate.err, Op::kOpen);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_host("open " + path, errno, Op::kOpen);
+  return File(fd, path);
+}
+
+File File::create_exclusive(const std::string& path) {
+  const auto fate = consult(Op::kOpen);
+  if (fate.kind == Fate::Kind::kFail) {
+    throw_injected("open " + path, fate.err, Op::kOpen);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) throw_host("open " + path, errno, Op::kOpen);
+  return File(fd, path);
+}
+
+std::vector<std::uint8_t> File::read_all(const std::string& path) {
+  const auto fate = consult(Op::kRead);
+  if (fate.kind == Fate::Kind::kFail) {
+    throw_injected("read " + path, fate.err, Op::kRead);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw_host("open " + path, errno, Op::kRead);
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) throw_host("read " + path, EIO, Op::kRead);
+  if (fate.kind == Fate::Kind::kBitRot && !data.empty()) {
+    // Silent media corruption: the "syscall" succeeds, one bit lies.
+    const auto [byte, mask] = g_plan->bitrot_point(data.size());
+    data[byte] = static_cast<std::uint8_t>(data[byte] ^ mask);
+  }
+  return data;
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File::~File() { close(); }
+
+void File::write_all(const void* data, std::size_t n) {
+  const auto fate = consult(Op::kWrite);
+  if (fate.kind == Fate::Kind::kFail) {
+    throw_injected("write " + path_, fate.err, Op::kWrite);
+  }
+  const char* p = static_cast<const char*>(data);
+  std::size_t want = n;
+  if (fate.kind == Fate::Kind::kShortWrite) want = n / 2;
+  std::size_t done = 0;
+  while (done < want) {
+    const ssize_t w = ::write(fd_, p + done, want - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_host("write " + path_, errno, Op::kWrite);
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  if (fate.kind == Fate::Kind::kShortWrite) {
+    // Half the payload reached the kernel, then the device "failed": the
+    // caller's temp file now holds a torn prefix.
+    throw_injected("write " + path_ + " (short write, " +
+                       std::to_string(want) + "/" + std::to_string(n) +
+                       " bytes)",
+                   EIO, Op::kWrite);
+  }
+}
+
+void File::sync() {
+  const auto fate = consult(Op::kFsync);
+  if (fate.kind == Fate::Kind::kFail) {
+    throw_injected("fsync " + path_, fate.err, Op::kFsync);
+  }
+  if (::fsync(fd_) != 0) throw_host("fsync " + path_, errno, Op::kFsync);
+}
+
+void File::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dir
+
+void Dir::create_all(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir)) {
+    throw IoError("io: mkdir -p " + dir + ": " + ec.message(),
+                  ec.value() != 0 ? ec.value() : ENOTDIR, Op::kOpen);
+  }
+}
+
+std::vector<std::string> Dir::list(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    names.push_back(it->path().filename().string());
+  }
+  return names;
+}
+
+void Dir::rename(const std::string& from, const std::string& to) {
+  const auto fate = consult(Op::kRename);
+  if (fate.kind == Fate::Kind::kTornRename) {
+    // A non-atomic "rename": half the source lands under the destination
+    // name, the source vanishes, the operation reports failure.  Readers
+    // must detect the corpse by checksum, never trust it.
+    const std::vector<std::uint8_t> data = raw_read(from);
+    std::FILE* f = std::fopen(to.c_str(), "wb");
+    if (f != nullptr) {
+      if (!data.empty()) std::fwrite(data.data(), 1, data.size() / 2, f);
+      std::fclose(f);
+    }
+    std::remove(from.c_str());
+    throw_injected("rename " + from + " -> " + to + " (torn)", fate.err,
+                   Op::kRename);
+  }
+  if (fate.kind == Fate::Kind::kFail) {
+    throw_injected("rename " + from + " -> " + to, fate.err, Op::kRename);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    throw_host("rename " + from + " -> " + to, errno, Op::kRename);
+  }
+}
+
+void Dir::sync(const std::string& dir) {
+  const auto fate = consult(Op::kDirFsync);
+  if (fate.kind == Fate::Kind::kFail) {
+    throw_injected("fsync dir " + dir, fate.err, Op::kDirFsync);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // Best effort: some filesystems refuse this open.
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0 && err != EINVAL && err != EROFS) {
+    // EINVAL/EROFS mean "directories aren't syncable here", not data loss.
+    throw_host("fsync dir " + dir, err, Op::kDirFsync);
+  }
+}
+
+void Dir::remove(const std::string& path) noexcept {
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+
+double backoff_seconds(unsigned attempt, double base, double cap,
+                       sim::Rng& rng) {
+  double delay = base;
+  for (unsigned i = 0; i < attempt && delay < cap; ++i) delay *= 2.0;
+  if (delay > cap) delay = cap;
+  // Jitter in [0.5, 1.0): desynchronizes retry storms without ever
+  // shortening the wait below half the nominal step.
+  return delay * (0.5 + 0.5 * rng.next_double());
+}
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(seconds);
+  auto frac = static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) *
+                                1e9);
+  if (frac < 0) frac = 0;
+  if (frac > 999999999L) frac = 999999999L;
+  ts.tv_nsec = frac;
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace spp::io

@@ -109,7 +109,8 @@ void Profiler::fault_report(std::FILE* out) const {
 
 void Profiler::recovery_report(std::FILE* out) const {
   const arch::PerfCounters& p = rt_->machine().perf();
-  if (p.checkpoints_taken == 0 && p.rollbacks == 0 && p.tasks_failed == 0) {
+  if (p.checkpoints_taken == 0 && p.rollbacks == 0 && p.tasks_failed == 0 &&
+      p.io_epochs_skipped == 0) {
     std::fprintf(out, "recovery: no checkpoints or failures\n");
     return;
   }
@@ -122,6 +123,11 @@ void Profiler::recovery_report(std::FILE* out) const {
   row("rollbacks", p.rollbacks);
   row("tasks_failed", p.tasks_failed);
   row("task_notifications", p.task_notifications);
+  if (p.io_epochs_skipped != 0) {
+    // Corrupt/unreadable epochs the resume had to fall past: each one
+    // degraded the resume point by one checkpoint interval (disk.h).
+    row("io_epochs_skipped", p.io_epochs_skipped);
+  }
   std::fprintf(out, "%-24s %12.3f\n", "ckpt_ms",
                sim::to_seconds(p.ckpt_ns) * 1e3);
   std::fprintf(out, "%-24s %12.3f\n", "rollback_ms",
@@ -143,6 +149,36 @@ void Profiler::check_report(std::FILE* out) const {
   row("races_detected", p.races_detected);
   row("deadlock_cycles", p.deadlock_cycles);
   row("deadlock_reports", p.deadlock_reports);
+}
+
+void Profiler::io_report(std::FILE* out) const {
+  const arch::PerfCounters& p = rt_->machine().perf();
+  const std::uint64_t activity =
+      p.io_faults_injected + p.io_transient_errors + p.io_permanent_errors +
+      p.io_retries + p.io_commit_failures + p.io_degradations +
+      p.io_memory_only_epochs + p.io_epochs_skipped;
+  if (activity == 0) {
+    std::fprintf(out, "io: no host-I/O faults or degradation\n");
+    return;
+  }
+  auto row = [out](const char* name, unsigned long long v) {
+    std::fprintf(out, "%-24s %12llu\n", name, v);
+  };
+  std::fprintf(out, "%-24s %12s\n", "host-I/O", "count");
+  row("io_faults_injected", p.io_faults_injected);
+  row("io_transient_errors", p.io_transient_errors);
+  row("io_permanent_errors", p.io_permanent_errors);
+  row("io_retries", p.io_retries);
+  row("io_commit_failures", p.io_commit_failures);
+  row("io_degradations", p.io_degradations);
+  row("io_memory_only_epochs", p.io_memory_only_epochs);
+  row("io_epochs_skipped", p.io_epochs_skipped);
+  if (p.io_memory_only_epochs != 0) {
+    std::fprintf(out,
+                 "io: *** DEGRADED: %llu epoch(s) were IN-MEMORY ONLY -- "
+                 "the disk trail ends before the run did ***\n",
+                 static_cast<unsigned long long>(p.io_memory_only_epochs));
+  }
 }
 
 }  // namespace spp::prof

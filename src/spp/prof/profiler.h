@@ -87,6 +87,12 @@ class Profiler {
   /// neither checkpointed nor lost a task.
   void recovery_report(std::FILE* out = stdout) const;
 
+  /// Prints the host-I/O fault and durable-layer degradation counters
+  /// (docs/RECOVERY.md, "Host I/O faults & the degradation ladder"),
+  /// with a loud alarm line if the run fell back to in-memory-only epochs.
+  /// Prints a single "no host-I/O faults" line for a clean run.
+  void io_report(std::FILE* out = stdout) const;
+
  private:
   struct OpenPhase {
     sim::Time t0 = 0;

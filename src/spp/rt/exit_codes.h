@@ -1,0 +1,26 @@
+// Pinned process exit codes for the sppsim tools (docs/RECOVERY.md).
+//
+// These are contract, not convention: CI smoke scripts, the fork-based
+// kill/resume tests, and operators' retry wrappers all branch on them, so
+// they live in one header and tests assert the literal values.  Changing a
+// value is an interface break and needs a doc + CI sweep.
+#pragma once
+
+namespace spp::rt {
+
+/// Clean run: every requested scenario passed, digests matched.
+inline constexpr int kExitOk = 0;
+/// Generic failure: scenario divergence, oracle violation, internal error.
+inline constexpr int kExitFailure = 1;
+/// Usage error: unknown command/flag/value; usage text printed to stderr.
+inline constexpr int kExitUsage = 2;
+/// Watchdog stall: no conductor progress within the stall budget
+/// (rt::Watchdog dumped the wait-for report and aborted the process).
+inline constexpr int kExitStall = 3;
+/// Permanent host-I/O degradation: the run *completed* (simulated work and
+/// counters are valid) but the durable layer abandoned at least one epoch
+/// commit -- the on-disk checkpoint trail is older than the run's end, so
+/// a later --resume replays more steps than an operator might expect.
+inline constexpr int kExitIoDegraded = 4;
+
+}  // namespace spp::rt

@@ -24,13 +24,15 @@
 #include <thread>
 
 #include "spp/rt/conductor.h"
+#include "spp/rt/exit_codes.h"
 
 namespace spp::rt {
 
 class Watchdog {
  public:
-  /// Exit code used when the watchdog terminates a wedged process.
-  static constexpr int kExitCode = 3;
+  /// Exit code used when the watchdog terminates a wedged process
+  /// (pinned with the other tool exit codes in rt/exit_codes.h).
+  static constexpr int kExitCode = kExitStall;
 
   /// Starts supervising `conductor`.  `dump` (optional) runs after the
   /// wait-for report, before exit -- keep it host-only and signal-safe-ish

@@ -1,0 +1,48 @@
+// Seeded violations for the posix-file-io check: raw host-filesystem access
+// outside src/spp/io/ must be flagged -- the spp::io seam is the only place
+// an armed io::FaultPlan can see a file operation, so anything that bypasses
+// it is untested against ENOSPC / torn renames / bit rot.
+// spp-lint-fixture: as-path src/spp/ckpt/bad_io.cc
+// spp-lint-fixture: expect posix-file-io
+
+#include <fcntl.h>     // flagged: raw open(2) machinery belongs behind the seam
+#include <filesystem>  // flagged: std::filesystem bypasses io::Dir
+
+#include <cstdio>
+#include <string>
+
+namespace spp::ckpt {
+
+int bad_open(const std::string& path) {
+  // flagged: ::-global open is the raw syscall.
+  return ::open(path.c_str(), O_WRONLY);
+}
+
+bool bad_stdio(const std::string& path) {
+  // flagged: std::fopen writes behind the fault plan's back.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fclose(f);  // flagged: std-qualified stdio close.
+  return true;
+}
+
+void bad_commit(int fd, const std::string& from, const std::string& to) {
+  fsync(fd);                          // flagged: unqualified syscall.
+  rename(from.c_str(), to.c_str());   // flagged: non-atomic without io::Dir.
+}
+
+struct NotASyscall {
+  int open(const std::string& name);  // fine: a declaration, not a call.
+  void close() noexcept;              // fine: bare `close` is never flagged.
+};
+
+int fine_member(NotASyscall& f, const std::string& name) {
+  return f.open(name);  // fine: member call on somebody's API.
+}
+
+int fine_allowed(const std::string& path) {
+  // spp-lint: allow(posix-file-io): fixture proves the suppression works
+  return ::open(path.c_str(), O_RDONLY);
+}
+
+}  // namespace spp::ckpt

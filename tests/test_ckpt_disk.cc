@@ -9,12 +9,17 @@
 //     one, both after a mid-run stop and after a graceful-shutdown flush;
 //   * --ckpt-wall-interval gates only the host-side disk writes, never the
 //     charged capture, so it cannot perturb the digest;
+//   * injected host-I/O faults (spp::io) against the commit protocol:
+//     ENOSPC mid-rename and mid-MANIFEST-rewrite leave the newest valid
+//     epoch loadable and never leak the LOCK, and load_newest counts every
+//     epoch it skips;
 //   * the host-side watchdog aborts a wedged simulation with exit code 3.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -26,6 +31,7 @@
 #include "spp/arch/topology.h"
 #include "spp/ckpt/disk.h"
 #include "spp/ckpt/durable.h"
+#include "spp/io/io.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/watchdog.h"
 
@@ -128,7 +134,8 @@ TEST(CkptDisk, FlippedPayloadByteFailsTheCrc) {
   const std::string dir = fresh_dir("bitflip");
   Disk disk(dir);
   disk.write_epoch(make_epoch(3));
-  // The fixed header is 40 bytes; offset 60 lands inside the payload.
+  // The fixed header is 48 bytes (44 covered fields + their CRC); offset 60
+  // lands inside the payload.
   corrupt_file(dir + "/" + Disk::epoch_filename(3), 60, 0x01);
   try {
     (void)disk.load_epoch(3);
@@ -170,6 +177,110 @@ TEST(CkptDisk, BadMagicIsRejected) {
               std::string::npos)
         << e.what();
   }
+}
+
+TEST(CkptDisk, FlippedHeaderClockByteFailsTheHeaderCrc) {
+  const std::string dir = fresh_dir("header-flip");
+  Disk disk(dir);
+  disk.write_epoch(make_epoch(3));
+  // Offset 20 is inside the u64 clock field (magic 8 + version 4 + step 8
+  // puts clock at [20, 28)).  The payload CRC cannot see it; only the v2
+  // header CRC can -- silent clock rot would resume with a skewed clock.
+  corrupt_file(dir + "/" + Disk::epoch_filename(3), 20, 0x10);
+  try {
+    (void)disk.load_epoch(3);
+    FAIL() << "a flipped header byte must not load";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("header CRC"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host-I/O faults against the commit protocol (spp::io seam)
+// ---------------------------------------------------------------------------
+
+/// Disarms any armed io::FaultPlan when the scope exits, even on a failed
+/// ASSERT, so one test's plan cannot leak into the next.
+struct Disarm {
+  ~Disarm() { io::arm_faults(nullptr); }
+};
+
+TEST(CkptDisk, EnospcMidEpochRenameKeepsNewestValidEpochAndLock) {
+  const std::string dir = fresh_dir("enospc-rename");
+  {
+    Disk disk(dir);
+    disk.write_epoch(make_epoch(0));
+
+    // rename #1 (counting from arming) is epoch-1's commit point.
+    io::FaultPlan plan;
+    plan.fail_nth(io::Op::kRename, 1, ENOSPC);
+    Disarm guard;
+    io::arm_faults(&plan);
+    try {
+      disk.write_epoch(make_epoch(1));
+      FAIL() << "the injected rename failure must surface";
+    } catch (const io::IoError& e) {
+      EXPECT_EQ(e.error(), ENOSPC);
+      EXPECT_TRUE(e.injected());
+    }
+    io::arm_faults(nullptr);
+
+    // All-or-nothing: the failed commit left no epoch-1 entry and did not
+    // touch epoch 0.
+    EXPECT_FALSE(fs::exists(dir + "/" + Disk::epoch_filename(1)));
+    const auto newest = disk.load_newest();
+    ASSERT_TRUE(newest.has_value());
+    EXPECT_EQ(newest->step, 0u);
+    // The directory can still commit after the fault clears.
+    disk.write_epoch(make_epoch(1));
+    EXPECT_EQ(disk.load_newest()->step, 1u);
+  }
+  // The writer LOCK must not leak across an injected failure.
+  EXPECT_FALSE(fs::exists(dir + "/LOCK"));
+}
+
+TEST(CkptDisk, EnospcMidManifestRewriteKeepsTheEpochDurable) {
+  const std::string dir = fresh_dir("enospc-manifest");
+  {
+    Disk disk(dir);
+    disk.write_epoch(make_epoch(0));
+
+    // rename #1 lands epoch-1's file; rename #2 is the MANIFEST rewrite.
+    io::FaultPlan plan;
+    plan.fail_nth(io::Op::kRename, 2, ENOSPC);
+    Disarm guard;
+    io::arm_faults(&plan);
+    EXPECT_THROW(disk.write_epoch(make_epoch(1)), io::IoError);
+    io::arm_faults(nullptr);
+
+    // The epoch itself was renamed into place before the MANIFEST failed:
+    // it is durable, discoverable (epochs() scans the directory, the
+    // MANIFEST is informational), and loadable.
+    EXPECT_TRUE(fs::exists(dir + "/" + Disk::epoch_filename(1)));
+    const auto newest = disk.load_newest();
+    ASSERT_TRUE(newest.has_value());
+    EXPECT_EQ(newest->step, 1u);
+  }
+  EXPECT_FALSE(fs::exists(dir + "/LOCK"));
+}
+
+TEST(CkptDisk, LoadNewestCountsTheEpochsItSkips) {
+  const std::string dir = fresh_dir("skip-count");
+  Disk disk(dir);
+  disk.write_epoch(make_epoch(0));
+  disk.write_epoch(make_epoch(1));
+  disk.write_epoch(make_epoch(2));
+
+  const std::string e2 = dir + "/" + Disk::epoch_filename(2);
+  fs::resize_file(e2, fs::file_size(e2) / 2);
+  EXPECT_EQ(disk.epochs_skipped(), 0u);
+
+  const auto got = disk.load_newest();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->step, 1u);
+  EXPECT_EQ(disk.epochs_skipped(), 1u)
+      << "every skipped epoch must be counted for the recovery report";
 }
 
 // ---------------------------------------------------------------------------

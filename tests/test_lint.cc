@@ -62,6 +62,7 @@ TEST(Lint, SelfTestFlagsEveryFixture) {
   // Every check must be exercised by at least one fixture.
   EXPECT_NE(r.out.find("wallclock.cc"), std::string::npos) << r.out;
   EXPECT_NE(r.out.find("host_thread.cc"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("posix_io.cc"), std::string::npos) << r.out;
   EXPECT_NE(r.out.find("arch_mutation.cc"), std::string::npos) << r.out;
   EXPECT_NE(r.out.find("digest_iter.cc"), std::string::npos) << r.out;
 }

@@ -63,11 +63,13 @@ bool is_keyword(const std::string& s) {
 // ---------------------------------------------------------------------------
 
 /// Paths where wall-clock access is the *point*: the watchdog measures host
-/// time by design, and ckpt::Disk stamps manifests.  Everything else under
-/// src/ runs on sim::Time only, so replay and digests stay bit-identical.
+/// time by design, ckpt::Disk stamps manifests, and spp::io sleeps real
+/// backoff delays between retries.  Everything else under src/ runs on
+/// sim::Time only, so replay and digests stay bit-identical.
 bool wallclock_exempt(const std::string& path) {
   return starts_with(path, "src/spp/rt/watchdog") ||
-         starts_with(path, "src/spp/ckpt/disk");
+         starts_with(path, "src/spp/ckpt/disk") ||
+         starts_with(path, "src/spp/io/");
 }
 
 void check_wallclock(const SourceFile& f, Result& res) {
@@ -214,6 +216,88 @@ void check_host_thread(const SourceFile& f, Result& res) {
            "'std::" + id + "' is a host threading primitive; only "
            "src/spp/rt/ and src/spp/ckpt/ may use host concurrency");
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// posix-file-io
+// ---------------------------------------------------------------------------
+
+void check_posix_io(const SourceFile& f, Result& res) {
+  static const char kCheck[] = "posix-file-io";
+  // The durable layer's fault story hangs on one funnel: every host file
+  // operation in simulated code routes through the spp::io seam, where the
+  // armed io::FaultPlan can see it and the recovery ladder can classify its
+  // failure.  A raw open()/rename() anywhere else under src/ is invisible
+  // to fault injection and untested against ENOSPC / torn renames / bit
+  // rot (docs/RECOVERY.md, "Host I/O faults & the degradation ladder").
+  if (!starts_with(f.path, "src/")) return;  // tools/ and tests/ are host code.
+  if (starts_with(f.path, "src/spp/io/")) return;  // the seam itself.
+
+  static const std::set<std::string> kBadIncludes = {
+      "fcntl.h", "sys/stat.h", "sys/file.h", "dirent.h", "filesystem"};
+  for (const auto& [name, line] : f.includes) {
+    if (contains(kBadIncludes, name)) {
+      emit(res, f, kCheck, line,
+           "#include <" + name + "> reaches the host filesystem behind the "
+           "spp::io seam; route file operations through io::File / io::Dir "
+           "so fault injection and the recovery ladder can see them");
+    }
+  }
+
+  // Flagged when unqualified, ::-global, or std::-qualified; a call through
+  // any other qualifier (io::Dir::rename, fs::rename inside spp::io) is
+  // somebody's wrapped API, not raw POSIX.
+  static const std::set<std::string> kBadCalls = {
+      "open",      "openat",  "creat",     "fopen",    "freopen",
+      "fdopen",    "fread",   "fwrite",    "fclose",   "fsync",
+      "fdatasync", "rename",  "renameat",  "unlink",   "unlinkat",
+      "mkdir",     "rmdir",   "ftruncate", "truncate", "mkdtemp",
+      "mkstemp",   "flock"};
+  // Names too generic to flag bare (`rt.write(...)`, a local `read()`):
+  // only the ::-global form is unambiguously the syscall.
+  static const std::set<std::string> kGlobalOnly = {
+      "read", "write", "close", "lseek", "pread", "pwrite"};
+
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent || is_keyword(t[i].text)) continue;
+    const std::string& id = t[i].text;
+    const bool is_call = i + 1 < t.size() &&
+                         t[i + 1].kind == Token::Kind::kPunct &&
+                         t[i + 1].text == "(";
+    if (!is_call) continue;
+    const Token* prev = i > 0 ? &t[i - 1] : nullptr;
+    const Token* prev2 = i > 1 ? &t[i - 2] : nullptr;
+    if (prev != nullptr && prev->kind == Token::Kind::kPunct &&
+        (prev->text == "." || prev->text == "->")) {
+      continue;  // member call: somebody's API, not POSIX.
+    }
+    if (prev != nullptr && prev->kind == Token::Kind::kIdent) {
+      continue;  // declaration: `void close() noexcept`.
+    }
+    const bool qualified = prev != nullptr &&
+                           prev->kind == Token::Kind::kPunct &&
+                           prev->text == "::";
+    const std::string qualifier =
+        (qualified && prev2 != nullptr && prev2->kind == Token::Kind::kIdent)
+            ? prev2->text
+            : "";
+    const bool global = qualified && qualifier.empty();
+    if (contains(kGlobalOnly, id)) {
+      if (global) {
+        emit(res, f, kCheck, t[i].line,
+             "'::" + id + "' is a raw POSIX file operation; only src/spp/io/ "
+             "may touch the host filesystem -- route it through io::File");
+      }
+      continue;
+    }
+    if (!contains(kBadCalls, id)) continue;
+    if (qualified && !global && qualifier != "std") continue;
+    emit(res, f, kCheck, t[i].line,
+         "call to '" + id + "' bypasses the spp::io seam; only src/spp/io/ "
+         "may touch the host filesystem -- route it through io::File / "
+         "io::Dir so fault injection and recovery can see it");
   }
 }
 
@@ -666,6 +750,7 @@ Result run_checks(const std::vector<SourceFile>& files) {
   for (const auto& f : files) {
     check_wallclock(f, res);
     check_host_thread(f, res);
+    check_posix_io(f, res);
     check_arch_mutation(f, res);
   }
   check_digest_iter(files, res);

@@ -1,12 +1,16 @@
 // spp-lint check engine (docs/STATIC_ANALYSIS.md).
 //
-// Four project-specific checks over the token streams lexer.h produces:
+// Five project-specific checks over the token streams lexer.h produces:
 //
 //   sim-no-wallclock        no wall-clock or entropy sources in simulated
-//                           code (allowlist: rt::Watchdog, ckpt::Disk, and
-//                           everything outside src/)
+//                           code (allowlist: rt::Watchdog, ckpt::Disk,
+//                           spp::io backoff, and everything outside src/)
 //   sim-no-host-thread      no host threading primitives outside
 //                           src/spp/rt/ and src/spp/ckpt/
+//   posix-file-io           no raw POSIX/stdio file APIs outside
+//                           src/spp/io/ -- every host file operation in
+//                           simulated code routes through the io::File /
+//                           io::Dir seam so fault injection sees it
 //   arch-mutation-charged   cross-module mutations of arch::Machine state
 //                           must be charged accessors (or accumulating
 //                           counter bumps / cold-path control calls, which
@@ -57,7 +61,7 @@ struct Result {
   std::vector<MutationSite> sites;
 };
 
-/// Runs all four checks over `files` (one entry per analyzed file; the
+/// Runs all five checks over `files` (one entry per analyzed file; the
 /// digest-iter-determinism call graph spans all of them).
 Result run_checks(const std::vector<SourceFile>& files);
 

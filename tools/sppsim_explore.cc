@@ -5,6 +5,7 @@
 //   sppsim-explore barrier  [--nodes N] [--threads T]
 //   sppsim-explore message  [--nodes N] [--bytes B]
 //   sppsim-explore chaos    [--nodes N] [--bytes B] [--rounds R]
+//   sppsim-explore chaos-disk [--nodes N] [--threads T]
 //   sppsim-explore check    [--nodes N] [--threads T]
 //   sppsim-explore survive  [--nodes N] [--threads T]
 //   sppsim-explore run      --app APP [--steps S] [--ckpt-dir DIR] [--resume]
@@ -19,6 +20,14 @@
 // mid-flight and verifies --resume reproduces the uninterrupted digest
 // (docs/RECOVERY.md).  Both exit nonzero on divergence or an oracle firing.
 //
+// `chaos-disk` is `survive`'s host-filesystem sibling (docs/RECOVERY.md,
+// "Host I/O faults & the degradation ladder"): one soak scenario per
+// injected fault class -- EIO, short write, fsync failure, persistent
+// ENOSPC, torn rename, read-side bit rot -- each a forked durable run that
+// is SIGKILLed mid-flight and/or degrades, then resumed; every resume must
+// reach the uninterrupted run's exact PerfCounters digest and never load a
+// corrupt epoch.  Exits nonzero on any divergence.
+//
 // `run` executes one application end to end and prints its PerfCounters
 // digest.  With --ckpt-dir it is a durable run: epochs are committed to disk
 // (docs/RECOVERY.md), SIGINT/SIGTERM flush a final checkpoint and exit at the
@@ -26,7 +35,8 @@
 // --watchdog SEC aborts (exit 3) with a wait-for report if the simulation
 // stops making progress for that many wall-seconds.
 //
-// Unknown subcommands or flags exit 2 with the usage line.
+// Exit codes are pinned in spp/rt/exit_codes.h: 0 ok, 1 scenario failure,
+// 2 usage, 3 watchdog stall, 4 permanent-I/O degradation.
 //
 // A release-style CLI for quick what-if questions ("what does the remote
 // miss cost on an 8-node machine with 256 KB caches?") without writing a
@@ -35,6 +45,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -54,8 +65,10 @@
 #include "spp/check/check.h"
 #include "spp/ckpt/durable.h"
 #include "spp/fault/fault.h"
+#include "spp/io/io.h"
 #include "spp/prof/profiler.h"
 #include "spp/pvm/pvm.h"
+#include "spp/rt/exit_codes.h"
 #include "spp/rt/runtime.h"
 #include "spp/rt/sync.h"
 #include "spp/rt/watchdog.h"
@@ -66,13 +79,16 @@ namespace {
 
 constexpr const char kUsage[] =
     "usage: sppsim-explore "
-    "latency|forkjoin|barrier|message|chaos|check|survive|run|map\n"
+    "latency|forkjoin|barrier|message|chaos|chaos-disk|check|survive|run|"
+    "map\n"
     "  common:  [--nodes N] [--threads T] [--bytes B] [--l1-kb K]\n"
     "           [--rounds R] [--fault-plan FILE]\n"
     "  run:     --app nbody|fem|pic|ppm|nbody-pvm|pic-pvm [--steps S]\n"
     "           [--ckpt-dir DIR] [--ckpt-interval K] "
     "[--ckpt-wall-interval SEC]\n"
-    "           [--resume] [--watchdog SEC] [--kill-after-writes N]\n";
+    "           [--resume] [--watchdog SEC] [--kill-after-writes N]\n"
+    "  exit:    0 ok, 1 failure, 2 usage, 3 watchdog stall, 4 permanent\n"
+    "           host-I/O degradation (spp/rt/exit_codes.h)\n";
 
 struct Args {
   std::string cmd = "latency";
@@ -97,8 +113,9 @@ struct Args {
   static bool parse(int argc, char** argv, Args& a) {
     int i = 1;
     if (i < argc && argv[i][0] != '-') a.cmd = argv[i++];
-    static const char* kCmds[] = {"latency", "forkjoin", "barrier", "message",
-                                  "chaos",   "check",    "survive", "run",
+    static const char* kCmds[] = {"latency",    "forkjoin", "barrier",
+                                  "message",    "chaos",    "chaos-disk",
+                                  "check",      "survive",  "run",
                                   "map"};
     if (std::find_if(std::begin(kCmds), std::end(kCmds), [&](const char* c) {
           return a.cmd == c;
@@ -583,6 +600,176 @@ int cmd_survive(const Args& a) {
   return 0;
 }
 
+/// Host-filesystem chaos sweep (docs/RECOVERY.md, "Host I/O faults & the
+/// degradation ladder"): one scenario per injected fault class.  Each forks
+/// a durable nbody run with an io::FaultPlan armed; the child either
+/// SIGKILLs itself mid-run (test_kill_after_writes) or completes degraded
+/// and exits rt::kExitIoDegraded.  The parent then resumes fault-free (for
+/// bit rot, with a read-side plan armed around the load) and requires the
+/// uninterrupted run's exact digest -- proving the commit protocol is
+/// all-or-nothing under every fault class and resume never loads a corrupt
+/// epoch.
+int cmd_chaos_disk(const Args& a) {
+  unsigned failures = 0;
+  std::printf("disk-chaos sweep: durable nbody runs under injected host-I/O "
+              "faults, then fault-free --resume\n\n");
+
+  struct RunResult {
+    std::uint64_t digest = 0;
+    bool degraded = false;          ///< cmd_run's exit-4 condition.
+    std::uint64_t epochs_skipped = 0;
+  };
+
+  // One durable nbody run: 256 bodies, 4 steps, one epoch per step.
+  const auto run_once = [&](const std::string& dir, bool resume,
+                            unsigned kill_after,
+                            const ckpt::RecoveryPolicy& policy) -> RunResult {
+    rt::Runtime runtime(arch::Topology{.nodes = a.nodes}, cost_for(a));
+    ckpt::DurableSpec spec;
+    spec.dir = dir;
+    spec.interval = 1;
+    spec.resume = resume;
+    spec.test_kill_after_writes = kill_after;
+    spec.policy = policy;
+    runtime.run([&] {
+      nbody::NbodyConfig cfg;
+      cfg.n = 256;
+      cfg.steps = 4;
+      nbody::NbodyShared app(runtime, cfg, a.threads, rt::Placement::kUniform);
+      app.load_plummer();
+      (void)app.run_durable(spec);
+    });
+    const arch::PerfCounters& p = runtime.machine().perf();
+    return RunResult{p.digest(runtime.elapsed()),
+                     p.io_commit_failures > 0 || p.io_memory_only_epochs > 0,
+                     p.io_epochs_skipped};
+  };
+
+  // Fault-plan operation numbering for this run shape (src/spp/ckpt/disk.cc):
+  // the LOCK is open#1/write#1; commit k is then open/write #2k and #2k+1
+  // and fsync/rename/dir-fsync #2k-1 and #2k (epoch file first, MANIFEST
+  // second).  A resume over a SIGKILLed child's stale LOCK reads the LOCK
+  // pid as read#1 and the newest epoch file as read#2.
+  struct Scenario {
+    const char* name;
+    void (*arm)(io::FaultPlan&);   ///< child-side plan (nullptr = clean).
+    unsigned kill_after;           ///< SIGKILL the child after N commits.
+    bool expect_degraded;          ///< child exits 4 instead of being killed.
+    ckpt::RecoveryPolicy policy;   ///< child-side recovery policy.
+    bool rot_resume;               ///< arm read-side bit rot on the resume.
+    bool expect_skip;              ///< resume must skip >= 1 corrupt epoch.
+  };
+  const ckpt::RecoveryPolicy relaxed;  // the defaults: retries + 3 rungs
+  ckpt::RecoveryPolicy no_mercy;       // first abandonment goes memory-only
+  no_mercy.max_retries = 0;
+  no_mercy.max_degradations = 0;
+
+  const Scenario scenarios[] = {
+      // Transient EIO on epoch-1's payload write: one retry, then the run
+      // survives unharmed to the SIGKILL.
+      {"eio-write",
+       [](io::FaultPlan& p) { p.fail_nth(io::Op::kWrite, 4, EIO); },
+       3, false, relaxed, false, false},
+      // Half of epoch-1's payload reaches the temp file, then the device
+      // "fails"; the retry truncates and rewrites it.
+      {"short-write", [](io::FaultPlan& p) { p.short_write_nth(4); },
+       3, false, relaxed, false, false},
+      // fsync of epoch-2's payload fails once: data that never reached
+      // media must not be renamed into place.
+      {"fsync-fail",
+       [](io::FaultPlan& p) { p.fail_nth(io::Op::kFsync, 5, EIO); },
+       3, false, relaxed, false, false},
+      // The disk fills for good after epoch 1: every later commit is
+      // abandoned, the ladder widens the stride, the run completes
+      // degraded (exit 4) and resumes from the last durable epoch.
+      {"enospc",
+       [](io::FaultPlan& p) { p.fail_from(io::Op::kOpen, 6, ENOSPC); },
+       0, true, relaxed, false, false},
+      // Epoch-2's rename is torn: a corrupt corpse lands under the final
+      // name.  Zero-tolerance policy sends the child memory-only (exit 4);
+      // the resume must detect the corpse by CRC and fall back past it.
+      {"torn-rename", [](io::FaultPlan& p) { p.torn_rename_nth(5); },
+       0, true, no_mercy, false, true},
+      // The child is killed clean; the parent's resume reads the newest
+      // epoch through rotting media (one flipped bit) and must fall back
+      // to the older epoch rather than trust it.
+      {"bit-rot", nullptr, 2, false, relaxed, true, true},
+  };
+
+  for (const Scenario& sc : scenarios) {
+    char tmpl[] = "/tmp/sppsim-chaosdisk-XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      std::printf("  %-12s FAILED: mkdtemp\n", sc.name);
+      ++failures;
+      continue;
+    }
+    const std::string base = tmpl;
+    const std::uint64_t want =
+        run_once(base + "/base", false, 0, relaxed).digest;
+
+    const pid_t pid = fork();
+    if (pid == 0) {
+      io::FaultPlan plan;
+      if (sc.arm != nullptr) {
+        sc.arm(plan);
+        io::arm_faults(&plan);
+      }
+      const RunResult r =
+          run_once(base + "/kill", false, sc.kill_after, sc.policy);
+      io::arm_faults(nullptr);
+      _exit(r.degraded ? rt::kExitIoDegraded : rt::kExitOk);
+    }
+    int wstatus = 0;
+    std::string why;
+    if (pid < 0 || waitpid(pid, &wstatus, 0) != pid) {
+      why += " fork/wait";
+    } else if (sc.expect_degraded) {
+      if (!WIFEXITED(wstatus) ||
+          WEXITSTATUS(wstatus) != rt::kExitIoDegraded) {
+        why += " child-not-exit-4";
+      }
+    } else if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGKILL) {
+      why += " child-not-SIGKILLed";
+    }
+
+    RunResult got;
+    io::FaultPlan rot;
+    try {
+      if (sc.rot_resume) {
+        rot.bitrot_read_nth(2);  // read#1 is the stale LOCK's pid.
+        io::arm_faults(&rot);
+      }
+      got = run_once(base + "/kill", true, 0, relaxed);
+      io::arm_faults(nullptr);
+    } catch (const std::exception& e) {
+      io::arm_faults(nullptr);
+      why += std::string(" resume-failed(") + e.what() + ")";
+    }
+    if (why.empty()) {
+      if (got.digest != want) why += " digest-diverged";
+      if (got.degraded) why += " resume-degraded";
+      if (sc.expect_skip && got.epochs_skipped == 0) {
+        why += " corrupt-epoch-not-skipped";
+      }
+    }
+    std::printf("  %-12s resume digest %016llx  skipped %llu  %s%s\n",
+                sc.name, static_cast<unsigned long long>(got.digest),
+                static_cast<unsigned long long>(got.epochs_skipped),
+                why.empty() ? "recovered" : "FAILED:", why.c_str());
+    if (!why.empty()) ++failures;
+    std::error_code ec;
+    std::filesystem::remove_all(base, ec);
+  }
+
+  if (failures != 0) {
+    std::printf("\nchaos-disk: %u scenario(s) FAILED\n", failures);
+    return rt::kExitFailure;
+  }
+  std::printf("\nchaos-disk: every fault class resumed to the fault-free "
+              "digest; no corrupt epoch was ever loaded\n");
+  return rt::kExitOk;
+}
+
 /// Runs every microbenchmark shape and all four applications at small
 /// configurations under full checking (coherence oracle + race detector +
 /// wait-for deadlock analysis); exits nonzero if any scenario is not clean.
@@ -708,7 +895,7 @@ int cmd_run(const Args& a) {
     std::fprintf(stderr,
                  "sppsim-explore: --resume/--kill-after-writes/"
                  "--ckpt-wall-interval need --ckpt-dir\n");
-    return 2;
+    return rt::kExitUsage;
   }
   ckpt::install_shutdown_handlers();
   ckpt::DurableSpec spec;
@@ -794,7 +981,18 @@ int cmd_run(const Args& a) {
   std::printf("digest: %016llx\n",
               static_cast<unsigned long long>(
                   runtime.machine().perf().digest(runtime.elapsed())));
-  return 0;
+
+  // Exit-code contract (spp/rt/exit_codes.h): the run itself succeeded --
+  // the digest above is authoritative -- but if the durable layer abandoned
+  // any epoch commit the disk trail is thinner than promised, and callers
+  // scripting around --resume must know.
+  const arch::PerfCounters& p = runtime.machine().perf();
+  if (p.io_commit_failures > 0 || p.io_memory_only_epochs > 0) {
+    prof::Profiler prof(runtime, a.threads);
+    prof.io_report();
+    return rt::kExitIoDegraded;
+  }
+  return rt::kExitOk;
 }
 
 int cmd_map(const Args& a) {
@@ -819,7 +1017,7 @@ int main(int argc, char** argv) {
   Args a;
   if (!Args::parse(argc, argv, a)) {
     std::fputs(kUsage, stderr);
-    return 2;
+    return spp::rt::kExitUsage;
   }
   try {
     if (a.cmd == "latency") return cmd_latency(a);
@@ -827,16 +1025,18 @@ int main(int argc, char** argv) {
     if (a.cmd == "barrier") return cmd_barrier(a);
     if (a.cmd == "message") return cmd_message(a);
     if (a.cmd == "chaos") return cmd_chaos(a);
+    if (a.cmd == "chaos-disk") return cmd_chaos_disk(a);
     if (a.cmd == "check") return cmd_check(a);
     if (a.cmd == "survive") return cmd_survive(a);
     if (a.cmd == "run") return cmd_run(a);
     return cmd_map(a);  // "map": the command set is validated at parse time.
   } catch (const std::exception& e) {
     // ConfigError for malformed plans; ckpt::Error for a corrupt / locked /
-    // missing checkpoint directory; TimeoutError / runtime_error when a
-    // plan makes the machine unrecoverable (partitioned fabric, all CPUs
-    // dead, retries exhausted).  Either way: report, don't abort.
+    // missing checkpoint directory; io::IoError for an unrecoverable host
+    // filesystem failure; TimeoutError / runtime_error when a plan makes
+    // the machine unrecoverable (partitioned fabric, all CPUs dead, retries
+    // exhausted).  Either way: report, don't abort.
     std::fprintf(stderr, "sppsim-explore: %s\n", e.what());
-    return 1;
+    return spp::rt::kExitFailure;
   }
 }
