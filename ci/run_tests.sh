@@ -35,7 +35,13 @@
 # an LLVM toolchain is on PATH, and skips gracefully when it is not (the
 # reference CI image is gcc-only).
 #
-# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only|--bench-smoke|--lint-only|--analyze-only]
+# A gating --pdes-smoke leg runs the whole tier-1 suite under the sharded
+# PDES engine (SPP_CONDUCTOR=pdes, 4 shard workers; docs/PERFORMANCE.md
+# "Sharded PDES backend"), checks that a durable run SIGKILLed at one
+# shard count resumes bit-exact at another, and runs the PDES tests under
+# ThreadSanitizer so the shard queues' memory ordering is machine-checked.
+#
+# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only|--bench-smoke|--lint-only|--analyze-only|--pdes-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -197,6 +203,60 @@ EOF
   else
     echo "analyze: no clang-tidy on PATH; skipping concurrency checks"
   fi
+fi
+
+# Durable resume across shard counts: kill a 4-shard pdes run after two
+# epoch commits, resume it with 2 shards, and require the digest of an
+# uninterrupted run under the default (fiber) backend.  One smoke covers
+# all three independence claims at once: backend, worker count, and
+# crash/resume (docs/PERFORMANCE.md "Sharded PDES backend").
+pdes_resume_smoke() {
+  local builddir="$1"
+  echo "=== pdes-smoke: kill-resume across shard counts ($builddir) ==="
+  local explore="$builddir/tools/sppsim-explore"
+  local d
+  d="$(mktemp -d)"
+  trap 'rm -rf "$d"' RETURN
+
+  local want got
+  want="$("$explore" run --app nbody --nodes 4 --ckpt-dir "$d/base" \
+    --ckpt-interval 2 | grep '^digest:')"
+
+  local rc=0
+  "$explore" run --app nbody --nodes 4 --ckpt-dir "$d/kill" \
+    --ckpt-interval 2 --shards 4 --kill-after-writes 2 || rc=$?
+  if [[ "$rc" -ne 137 ]]; then
+    echo "pdes resume smoke: expected SIGKILL (137), got exit $rc" >&2
+    return 1
+  fi
+
+  got="$("$explore" run --app nbody --nodes 4 --ckpt-dir "$d/kill" \
+    --ckpt-interval 2 --shards 2 --resume | grep '^digest:')"
+  if [[ "$got" != "$want" ]]; then
+    echo "pdes resume smoke: digest mismatch across shard counts" >&2
+    echo "  uninterrupted (fibers):   $want" >&2
+    echo "  killed@4, resumed@2:      $got" >&2
+    return 1
+  fi
+  echo "pdes resume smoke: resumed $got matches uninterrupted run"
+}
+
+# Gating: the full tier-1 suite under the sharded engine, the cross-shard
+# resume smoke, and the shard queues under tsan.
+if [[ "$MODE" == "--pdes-smoke" ]]; then
+  echo "=== pdes-smoke: tier-1 under SPP_CONDUCTOR=pdes, 4 shards ==="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  SPP_CONDUCTOR=pdes SPP_SHARDS=4 \
+    ctest --test-dir build --output-on-failure -j "$JOBS"
+  pdes_resume_smoke build
+
+  echo "=== pdes-smoke: shard queues under tsan ==="
+  cmake -B build-tsan -S . \
+    -DSPP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS" --target test_pdes
+  SPP_CONDUCTOR=pdes SPP_SHARDS=4 build-tsan/tests/test_pdes
 fi
 
 # Not part of "all": wall-clock numbers are host-dependent, so this leg is

@@ -29,13 +29,22 @@ Machine::Machine(Topology topo, CostModel cm)
   for (unsigned i = 0; i < topo_.nodes * kNumRings; ++i) {
     gcaches_.emplace_back(cm_.gcache_bytes, topo.num_fus());
   }
-  directory_.reserve(1u << 16);
+  directory_.resize(topo_.nodes);
+  for (auto& dir : directory_) dir.reserve((1u << 16) / topo_.nodes + 1);
 }
 
 void Machine::power_cycle() {
   for (L1Cache& l1 : l1_) l1.clear();
   for (sci::GCache& g : gcaches_) g.clear();
-  directory_.clear();
+  for (auto& dir : directory_) dir.clear();
+  // Discard -- never fold -- pending per-shard counter slots.  On the
+  // rollback/resume path the caller has just overwritten perf_ with an epoch
+  // snapshot; counts accrued after that snapshot belong to discarded work
+  // and folding them in would double-count against the uninterrupted run.
+  // Epoch-boundary callers fold explicitly before snapshotting perf_
+  // (ckpt::DurableSession::boundary).
+  shard_invals_sent_ = {};
+  shard_l1_evictions_ = {};
   for (FuState& fu : fus_) {
     fu.port.reset();
     fu.dir.reset();
@@ -47,8 +56,9 @@ void Machine::power_cycle() {
 }
 
 void Machine::maybe_erase(LineAddr line) {
-  const HomeEntry* e = directory_.find(line);
-  if (e != nullptr && e->empty()) directory_.erase(line);
+  FlatMap<LineAddr, HomeEntry>& dir = dir_for(line);
+  const HomeEntry* e = dir.find(line);
+  if (e != nullptr && e->empty()) dir.erase(line);
 }
 
 // ---------------------------------------------------------------------------
@@ -86,6 +96,38 @@ sim::Time Machine::access(unsigned cpu, VAddr va, bool write, sim::Time now) {
 sim::Time Machine::access_at(unsigned cpu, VAddr va, PAddr pa, bool write,
                              sim::Time now) {
   const LineAddr line = line_of(pa);
+
+  // PDES cross-shard gate: if this access could leave the CPU's own shard,
+  // park at the fusion rendezvous BEFORE reading any protocol state the
+  // dispatch below depends on.  The whole decision tree (L1 state, upgrade
+  // vs. fill, gcache hit) then re-runs against fusion-time state, so no
+  // branch downstream can act on a pre-park snapshot.  The probe here is
+  // conservative: a stale "cross" answer only serializes the access, it
+  // never corrupts state.
+  if (gate_ != nullptr) {
+    const LineState pst = l1_[cpu].state_of(line);
+    if (pst == LineState::kInvalid || (pst == LineState::kShared && write)) {
+      const unsigned my_node = topo_.node_of_cpu(cpu);
+      const unsigned home_fu = home_fu_of(pa);
+      bool cross;
+      if (topo_.node_of_fu(home_fu) == my_node) {
+        // Home is local: only a remote-dirty recall or an SCI purge walk
+        // leaves the shard.
+        const HomeEntry* e = directory_[my_node].find(line);
+        cross = e != nullptr &&
+                (e->remote_dirty || (write && !e->sci_list.empty()));
+      } else if (pst == LineState::kShared) {
+        cross = true;  // Write upgrade negotiates through the remote home.
+      } else {
+        // Remote-home miss: node-local only on a usable gcache buffer hit.
+        const sci::GCache::Entry& ge =
+            gcache_for(my_node, topo_.ring_of_fu(home_fu)).slot(line);
+        cross = !(ge.line == line && (!write || ge.dirty));
+      }
+      if (cross) gate_->on_cross();
+    }
+  }
+
   CpuCounters& c = perf_.cpu[cpu];
   (write ? c.stores : c.loads)++;
 
@@ -288,7 +330,11 @@ sim::Time Machine::invalidate_local(LineAddr line, HomeEntry& e,
     // victim's stale copy behind while the directory believes it is gone.
     if (!mutation_.skip_local_invalidate) l1_[victim_cpu].invalidate(line);
     ++perf_.cpu[victim_cpu].invals_received;
-    ++perf_.invals_sent;
+    if (gate_ != nullptr) {
+      ++shard_invals_sent_[home_node];
+    } else {
+      ++perf_.invals_sent;
+    }
     t += sim::cycles(cm_.inval_local);
   }
   e.cpu_sharers &= keep;
@@ -330,7 +376,11 @@ sim::Time Machine::remote_fill(unsigned cpu, PAddr pa, bool write,
         const unsigned victim = my_node * kCpusPerNode + k;
         l1_[victim].invalidate(line);
         ++perf_.cpu[victim].invals_received;
-        ++perf_.invals_sent;
+        if (gate_ != nullptr) {
+          ++shard_invals_sent_[my_node];
+        } else {
+          ++perf_.invals_sent;
+        }
         t += sim::cycles(cm_.inval_local);
       }
       ge.cpu_sharers = bit(cpu_in_node);
@@ -489,7 +539,11 @@ sim::Time Machine::remote_upgrade(unsigned cpu, PAddr pa, sim::Time t) {
     const unsigned victim = my_node * kCpusPerNode + k;
     l1_[victim].invalidate(line);
     ++perf_.cpu[victim].invals_received;
-    ++perf_.invals_sent;
+    if (gate_ != nullptr) {
+      ++shard_invals_sent_[my_node];
+    } else {
+      ++perf_.invals_sent;
+    }
     t += sim::cycles(cm_.inval_local);
   }
   ge.dirty = true;
@@ -588,7 +642,11 @@ void Machine::evict_l1_entry(unsigned cpu, L1Cache::Entry& entry,
   const unsigned home_node = topo_.node_of_fu(home_fu);
   const unsigned my_node = topo_.node_of_cpu(cpu);
   const unsigned cpu_in_node = cpu % kCpusPerNode;
-  ++perf_.l1_evictions;
+  if (gate_ != nullptr) {
+    ++shard_l1_evictions_[my_node];
+  } else {
+    ++perf_.l1_evictions;
+  }
 
   if (entry.state == LineState::kModified) {
     ++perf_.cpu[cpu].writebacks;
@@ -600,11 +658,12 @@ void Machine::evict_l1_entry(unsigned cpu, L1Cache::Entry& entry,
   }
 
   if (home_node == my_node) {
-    HomeEntry* e = directory_.find(victim);
+    FlatMap<LineAddr, HomeEntry>& dir = directory_[home_node];
+    HomeEntry* e = dir.find(victim);
     if (e != nullptr) {
       if (e->owner_cpu == static_cast<int>(cpu)) e->owner_cpu = -1;
       e->cpu_sharers &= static_cast<std::uint8_t>(~bit(cpu_in_node));
-      if (e->empty()) directory_.erase(victim);
+      if (e->empty()) dir.erase(victim);
     }
   } else {
     const unsigned ring = topo_.ring_of_fu(home_fu);
@@ -636,7 +695,8 @@ void Machine::evict_gcache_entry(unsigned node, [[maybe_unused]] unsigned ring,
   ++perf_.gcache_evictions;
   invalidate_gcache_backed_l1(node, ge);
 
-  HomeEntry* e = directory_.find(victim);
+  FlatMap<LineAddr, HomeEntry>& dir = dir_for(victim);
+  HomeEntry* e = dir.find(victim);
   if (e != nullptr) {
     e->sci_list.erase(std::remove(e->sci_list.begin(), e->sci_list.end(),
                                   static_cast<std::uint8_t>(node)),
@@ -646,7 +706,7 @@ void Machine::evict_gcache_entry(unsigned node, [[maybe_unused]] unsigned ring,
       // Rollout writeback occupies the home bank off the critical path.
       bank_for(line_base(victim)).acquire(now, sim::cycles(cm_.bank_hold));
     }
-    if (e->empty()) directory_.erase(victim);
+    if (e->empty()) dir.erase(victim);
   }
   ge = sci::GCache::Entry{};
 }
@@ -662,6 +722,8 @@ sim::Time Machine::access_uncached(unsigned cpu, VAddr va, bool write,
   const unsigned home_fu = home_fu_of(pa);
   const unsigned my_node = topo_.node_of_cpu(cpu);
   const unsigned home_node = topo_.node_of_fu(home_fu);
+  // PDES gate: a remote-home uncached op always rides the ring.
+  if (gate_ != nullptr && home_node != my_node) gate_->on_cross();
   CpuCounters& c = perf_.cpu[cpu];
   ++c.uncached_ops;
   (write ? c.stores : c.loads)++;
@@ -711,6 +773,8 @@ sim::Time Machine::atomic_rmw(unsigned cpu, VAddr va, sim::Time now) {
   const unsigned home_fu = home_fu_of(pa);
   const unsigned my_node = topo_.node_of_cpu(cpu);
   const unsigned home_node = topo_.node_of_fu(home_fu);
+  // PDES gate: a remote-home fetch-and-op always rides the ring.
+  if (gate_ != nullptr && home_node != my_node) gate_->on_cross();
   CpuCounters& c = perf_.cpu[cpu];
   ++c.atomic_ops;
 
@@ -786,7 +850,7 @@ unsigned Machine::sharer_count(VAddr va) const {
 
 Machine::DirView Machine::dir_view(LineAddr line) const {
   DirView v;
-  const HomeEntry* e = directory_.find(line);
+  const HomeEntry* e = dir_for(line).find(line);
   if (e == nullptr) return v;
   v.present = true;
   v.cpu_sharers = e->cpu_sharers;

@@ -12,6 +12,7 @@
 // Thread safety: NONE by design; see DESIGN.md section 5.1.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -30,6 +31,20 @@
 #include "spp/sim/time.h"
 
 namespace spp::arch {
+
+/// Cross-shard gate for the sharded PDES engine (rt/conductor.h).  When a
+/// gate is attached, a charged operation that could touch state owned by
+/// another shard (hypernode) calls on_cross() BEFORE reading or mutating
+/// anything beyond its own shard.  Inside a parallel phase the call parks
+/// the simulated thread until the next fusion rendezvous and returns with
+/// the caller serialized; at every other time it returns immediately.  The
+/// pre-checks that decide whether to call it are conservative: a false
+/// positive only costs serialization, never correctness.
+class CrossGate {
+ public:
+  virtual ~CrossGate() = default;
+  virtual void on_cross() = 0;
+};
 
 class Machine {
  public:
@@ -78,6 +93,25 @@ class Machine {
   /// test per access when null; observers never alter timing or state.
   void set_observer(MemObserver* observer) { observer_ = observer; }
   MemObserver* observer() const { return observer_; }
+
+  /// Attaches (or clears, with nullptr) the PDES engine's cross-shard gate.
+  /// While attached, the handful of node-unattributed counters route to
+  /// per-shard slots (so parallel phase workers never write one field
+  /// concurrently) until fold_shard_counters() merges them.
+  void set_gate(CrossGate* gate) { gate_ = gate; }
+  CrossGate* gate() const { return gate_; }
+
+  /// Folds the per-shard counter slots into the global PerfCounters and
+  /// zeroes them.  Called at serialized points only (end of a conductor
+  /// run, power_cycle).
+  void fold_shard_counters() {
+    for (unsigned n = 0; n < kMaxNodes; ++n) {
+      perf_.invals_sent += shard_invals_sent_[n];
+      perf_.l1_evictions += shard_l1_evictions_[n];
+      shard_invals_sent_[n] = 0;
+      shard_l1_evictions_[n] = 0;
+    }
+  }
 
   // --- test-only protocol mutations (mutation harness; tests/test_check) ----
   /// Deliberate protocol bugs, compiled in but dead until set.  Used to prove
@@ -146,7 +180,15 @@ class Machine {
     std::vector<sim::Resource> banks;
   };
 
-  HomeEntry& home_entry(LineAddr line) { return directory_[line]; }
+  /// The home directory shard owning `line` (indexed by the line's home
+  /// node, so each PDES phase worker only ever touches its own maps).
+  FlatMap<LineAddr, HomeEntry>& dir_for(LineAddr line) {
+    return directory_[topo_.node_of_fu(home_fu_of(line_base(line)))];
+  }
+  const FlatMap<LineAddr, HomeEntry>& dir_for(LineAddr line) const {
+    return directory_[topo_.node_of_fu(home_fu_of(line_base(line)))];
+  }
+  HomeEntry& home_entry(LineAddr line) { return dir_for(line)[line]; }
   void maybe_erase(LineAddr line);
 
   sim::Resource& bank_for(PAddr pa) {
@@ -210,12 +252,21 @@ class Machine {
   std::vector<L1Cache> l1_;
   std::vector<FuState> fus_;
   std::vector<sci::GCache> gcaches_;  ///< [node * 4 + ring]
-  /// Home directory: open-addressing flat map (docs/PERFORMANCE.md) -- one
+  /// Home directory: open-addressing flat maps (docs/PERFORMANCE.md) -- one
   /// cache-friendly probe per access() instead of an unordered_map node
-  /// chase, and no per-line heap allocation.
-  FlatMap<LineAddr, HomeEntry> directory_;
+  /// chase, and no per-line heap allocation.  Sharded one map per home node
+  /// so parallel PDES phase workers (which only operate on lines homed in
+  /// their own shard; everything else gates) never share map internals.
+  std::vector<FlatMap<LineAddr, HomeEntry>> directory_;
   std::vector<TranslateMru> mru_;  ///< per-CPU translation fast path.
   MemObserver* observer_ = nullptr;
+  CrossGate* gate_ = nullptr;  ///< PDES cross-shard gate, when attached.
+  /// Per-shard slots for the two counters whose bump sites are not
+  /// per-CPU: written by at most one phase worker each (the home/owning
+  /// node's), folded serially by fold_shard_counters().  Used only while a
+  /// gate is attached; direct Machine use keeps bumping PerfCounters.
+  std::array<std::uint64_t, kMaxNodes> shard_invals_sent_{};
+  std::array<std::uint64_t, kMaxNodes> shard_l1_evictions_{};
   TestMutation mutation_;
 };
 

@@ -1,0 +1,94 @@
+// Single-producer single-consumer event queue for the sharded PDES engine.
+//
+// One queue per shard carries that shard's deferred cross-shard events from
+// the worker thread that owns the shard (producer, during a phase) to the
+// fusion coordinator (consumer, at the rendezvous).  The engine's phase
+// barrier already orders every push before every pop, but the queue is
+// written as a classic lock-free SPSC ring with acquire/release indices so
+// the ThreadSanitizer CI leg checks the handoff itself, not just the
+// barrier around it (ci/run_tests.sh --pdes-smoke).
+//
+// Capacity is fixed per phase: a simulated thread parks at most once per
+// phase (it stays blocked until fusion), so the engine sizes each queue to
+// the owning shard's live-thread count before workers start (a serial
+// moment).  push() on a full queue is a hard logic error, not a wait.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace spp::pdes {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity = 64) { reserve(capacity); }
+
+  SpscQueue(SpscQueue&& other) noexcept
+      : slots_(std::move(other.slots_)),
+        head_(other.head_.load(std::memory_order_relaxed)),
+        tail_(other.tail_.load(std::memory_order_relaxed)) {}
+
+  /// Grows the ring.  Caller must guarantee quiescence (the engine calls
+  /// this only between phases, when neither side is active).
+  void reserve(std::size_t capacity) {
+    if (capacity <= slots_.size()) return;
+    std::vector<T> grown(capacity + 1);
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    std::size_t n = 0;
+    for (std::size_t i = h; i != t; i = next(i)) grown[n++] = slots_[i];
+    slots_ = std::move(grown);
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Producer side.  Fails loudly on overflow instead of blocking: the
+  /// engine pre-sizes for the worst case, so a full queue is a bug.
+  void push(const T& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t n = next(t);
+    if (n == head_.load(std::memory_order_acquire)) {
+      throw std::logic_error("pdes: SPSC event queue overflow");
+    }
+    slots_[t] = v;
+    tail_.store(n, std::memory_order_release);
+  }
+
+  /// Consumer side: pops into `out`, false when empty.
+  bool pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = slots_[h];
+    head_.store(next(h), std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return slots_.empty() ? 0 : slots_.size() - 1; }
+
+  /// Number of queued items.  Exact from the producer's side while the
+  /// consumer is quiescent (the only place the engine calls it).
+  std::size_t size() const {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : t + slots_.size() - h;
+  }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return i + 1 == slots_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace spp::pdes

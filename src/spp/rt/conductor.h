@@ -1,25 +1,61 @@
 // The conductor: a deterministic sequencer for simulated threads.
 //
-// EXACTLY ONE simulated thread (SThread) runs at any moment: the conductor
-// always resumes the ready thread with the smallest (local clock, thread id).
-// Application code is therefore race-free and bit-reproducible; parallelism
-// exists only in simulated time, where each thread carries its own clock and
-// contended hardware is modeled by spp::sim::Resource busy-until queues
-// (DESIGN.md section 5.1).
+// Single-node topologies run the classic sequencer: EXACTLY ONE simulated
+// thread (SThread) runs at any moment -- the conductor always resumes the
+// ready thread with the smallest (local clock, thread id).  Application code
+// is therefore race-free and bit-reproducible; parallelism exists only in
+// simulated time, where each thread carries its own clock and contended
+// hardware is modeled by spp::sim::Resource busy-until queues (DESIGN.md
+// section 5.1).
+//
+// Multi-node topologies run the sharded PDES engine (docs/PERFORMANCE.md
+// "Sharded PDES backend"): the machine is sharded one shard per hypernode,
+// and execution alternates between
+//
+//   PHASES   -- every shard independently drains its own (clock, tid)-ordered
+//               ready set up to a conservative horizon: the globally earliest
+//               runnable clock plus a lookahead window derived from the SCI
+//               ring's minimum transit cost (spp/pdes/window.h).  A charged
+//               operation that would touch another shard's state hits a
+//               *gate* (Machine::CrossGate / Conductor::defer_cross) and
+//               parks: the thread is suspended and an event keyed by
+//               (timestamp, shard, seq) is pushed on the shard's SPSC queue.
+//   FUSION   -- at the rendezvous ending a phase, the coordinator pops every
+//               queue, sorts by pdes::EventKey, and resumes each parked
+//               thread serially.  The resumed thread is marked `fusing_`;
+//               gates no-op while fusing, so the deferred operation executes
+//               the existing inline code path, serialized.  Fusion for a
+//               thread ends at its next scheduling point outside any gated
+//               region (yield with gate_depth_ == 0, a real block, or
+//               completion); the thread then rejoins its shard's ready set
+//               for the next phase.
+//
+// Phase membership, horizons, per-shard dispatch order, park sequence
+// numbers, and fusion order are all pure functions of *simulated* state --
+// never of host thread timing or of how many OS worker threads carry the
+// shards -- so every simulated observable (PerfCounters::digest included) is
+// bit-identical across backends and across --shards values.
 //
 // An SThread advances its clock locally (compute charges, memory access
 // latencies) and returns control to the conductor at scheduling points:
 // yield() (cheap reschedule), block() (wait for another thread to unblock
 // it), or completion.
 //
-// Two interchangeable execution backends carry the SThread stacks
-// (docs/PERFORMANCE.md): user-level fibers (default; a context switch costs
-// a function call) and one OS thread per SThread with mutex/condvar handoff
-// (the fallback, and the only backend ThreadSanitizer understands).  The
-// scheduling decisions above are backend-independent, so both produce
+// Three execution backends:
+//   kFibers  -- stackful user-level fibers (default; a context switch costs
+//               a function call); the engine, when active, runs every shard
+//               on the conductor's own host thread (one worker).
+//   kThreads -- one OS thread per SThread with mutex/condvar handoff (the
+//               fallback, and the only carrier ThreadSanitizer understands).
+//   kPdes    -- fibers when available (OS threads under tsan), plus a pool
+//               of OS *worker* threads that drain disjoint shard ranges in
+//               parallel during phases (rt/sharded.h).  --shards / the
+//               SPP_SHARDS environment variable pick the worker count.
+// Scheduling decisions are backend-independent, so all three produce
 // bit-identical simulated time and counters.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <exception>
@@ -32,7 +68,10 @@
 #include <vector>
 
 #include "spp/arch/machine.h"
+#include "spp/arch/topology.h"
 #include "spp/lib/thread_annotations.h"
+#include "spp/pdes/event.h"
+#include "spp/pdes/spsc.h"
 #include "spp/rt/fiber.h"
 #include "spp/rt/host_mutex.h"
 #include "spp/sim/time.h"
@@ -40,22 +79,28 @@
 namespace spp::rt {
 
 class Conductor;
+class ShardedConductor;
 
-/// Which mechanism carries simulated-thread stacks.  Scheduling (and thus
-/// every simulated observable) is identical under both.
+/// Which mechanism carries simulated-thread stacks (and, for kPdes, whether
+/// phases fan out over OS worker threads).  Scheduling -- and thus every
+/// simulated observable -- is identical under all three.
 enum class ConductorBackend {
   kThreads,  ///< one OS thread per SThread, mutex/condvar ping-pong.
   kFibers,   ///< stackful user-level fibers on the conductor's own thread.
+  kPdes,     ///< fiber (or OS-thread) stacks + one worker thread per shard
+             ///< range draining phases in parallel.
 };
 
 /// True when the fiber backend can run in this build: a Fiber implementation
 /// exists and we are not under ThreadSanitizer (which cannot track stack
-/// switches within one OS thread; the tsan CI leg pins the thread backend).
+/// switches within one OS thread; the tsan CI leg pins OS-thread stacks --
+/// under kPdes the engine and its workers still run, exercising the SPSC
+/// queues under tsan, just with OS-thread stack carriers).
 bool fibers_available();
 
 /// The backend new Conductors get by default: fibers when available and the
 /// build enabled them (SPP_FIBERS, on by default), else OS threads.  The
-/// environment variable SPP_CONDUCTOR=threads|fibers overrides.
+/// environment variable SPP_CONDUCTOR=threads|fibers|pdes overrides.
 ConductorBackend default_conductor_backend();
 
 /// Simulated deadlock, diagnosed by the conductor's wait-for graph.  The
@@ -71,7 +116,15 @@ class DeadlockError : public std::runtime_error {
 /// Sync primitives fill this in when they block; an empty reason (direct
 /// Conductor::block() calls) degrades to an "unknown" node in the report.
 struct BlockReason {
-  enum class Kind { kUnknown, kLock, kBarrier, kSemaphore, kJoin, kMessage };
+  enum class Kind {
+    kUnknown,
+    kLock,
+    kBarrier,
+    kSemaphore,
+    kJoin,
+    kMessage,
+    kFusion,  ///< parked at a cross-shard gate; resumed at the next fusion.
+  };
 
   Kind kind = Kind::kUnknown;
   const void* obj = nullptr;        ///< the sync object, for the report.
@@ -89,6 +142,8 @@ class SThread {
 
   unsigned tid() const { return tid_; }
   unsigned cpu() const { return cpu_; }
+  /// The hypernode (= PDES shard) the thread currently runs on.
+  unsigned node() const { return node_; }
   sim::Time clock() const { return clock_; }
   State state() const { return state_; }
 
@@ -98,8 +153,10 @@ class SThread {
 
   /// Rebinds the thread to another CPU (fault migration off a fail-stopped
   /// processor).  Subsequent charged accesses use the new CPU's L1, so the
-  /// cold-cache cost of the move is modeled, not assumed.
-  void rebind_cpu(unsigned cpu) { cpu_ = cpu; }
+  /// cold-cache cost of the move is modeled, not assumed.  A cross-node
+  /// rebind also moves the thread between shards, keeping the engine's
+  /// per-shard ready sets and blocked counts consistent.
+  void rebind_cpu(unsigned cpu);
 
   /// Simulated time of the last scheduling point (quantum bookkeeping).
   sim::Time last_yield() const { return last_yield_; }
@@ -111,9 +168,10 @@ class SThread {
 
  private:
   friend class Conductor;
+  friend class FusionScope;
 
-  SThread(Conductor* c, unsigned tid, unsigned cpu, sim::Time start,
-          std::function<void()> fn);
+  SThread(Conductor* c, unsigned tid, unsigned cpu, unsigned node,
+          sim::Time start, std::function<void()> fn);
 
   void os_body();
   static void fiber_entry(void* self);
@@ -126,11 +184,17 @@ class SThread {
   Conductor* conductor_;
   unsigned tid_;
   unsigned cpu_;
+  unsigned node_;  ///< shard = topo.node_of_cpu(cpu_), kept in sync.
   sim::Time clock_ = 0;
   sim::Time last_yield_ = 0;
   State state_ = State::kReady;
   BlockReason reason_;  ///< wait-for edge while Blocked.
   std::function<void()> fn_;
+
+  // PDES engine state.  Both fields are touched only by the thread itself
+  // or by whoever is about to resume it, never concurrently.
+  bool fusing_ = false;  ///< resumed at a fusion point; gates no-op.
+  int gate_depth_ = 0;   ///< FusionScope nesting (sync-op bodies).
 
   // Thread backend state.  mu_ orders the one-at-a-time conductor<->thread
   // ping-pong; the three handshake flags below are the only state both host
@@ -148,21 +212,39 @@ class SThread {
   std::exception_ptr error_;  // exception that escaped fn_, if any
   std::thread os_;
 
-  // Fiber backend state.  Everything here runs on the conductor's single
-  // host thread, so none of it is (or needs to be) lock-protected.
+  // Fiber backend state.  A fiber may be resumed from any host thread (the
+  // coordinator during fusion, a shard worker during phases); switches
+  // always return to the resumer's host context (thread-local in the .cc).
   Fiber fiber_;
   bool started_ = false;  ///< the fiber has been entered at least once.
   bool fiber_shutdown_ = false;  ///< conductor asks the fiber to unwind.
 };
 
+/// RAII marker for a gated multi-access operation (sync-primitive bodies,
+/// grouped spawns): while at least one scope is open, a fusing thread's
+/// internal yields do NOT end its fusion, so the whole operation stays
+/// serialized.  When the outermost scope closes during fusion, the thread
+/// leaves the rendezvous eagerly instead of running on until its next
+/// natural scheduling point.
+class FusionScope {
+ public:
+  FusionScope();
+  ~FusionScope();
+
+  FusionScope(const FusionScope&) = delete;
+  FusionScope& operator=(const FusionScope&) = delete;
+
+ private:
+  SThread* me_;  ///< null when constructed outside a simulated thread.
+  int uncaught_at_entry_ = 0;
+};
+
 /// Owns all simulated threads and runs the scheduling loop.
-class Conductor {
+class Conductor : public arch::CrossGate {
  public:
   explicit Conductor(arch::Machine& machine,
-                     ConductorBackend backend = default_conductor_backend())
-      : machine_(machine),
-        backend_(fibers_available() ? backend : ConductorBackend::kThreads) {}
-  ~Conductor();
+                     ConductorBackend backend = default_conductor_backend());
+  ~Conductor() override;
 
   Conductor(const Conductor&) = delete;
   Conductor& operator=(const Conductor&) = delete;
@@ -185,12 +267,18 @@ class Conductor {
 
   // --- called from inside simulated threads ---------------------------------
   /// Creates a new ready thread.  Returns a stable pointer (owned here).
+  /// Thread ids are allocated per shard (tid = node + nodes * seq), so they
+  /// are a pure function of simulated spawn order within each shard and do
+  /// not depend on how phases interleave across shards.  On single-node
+  /// topologies this degenerates to the classic sequential numbering.
   SThread* spawn(std::function<void()> fn, unsigned cpu, sim::Time start);
   /// Scheduling point: lets an earlier-clocked thread run first.  Cheap
   /// no-op if the caller is still the earliest (within `slack`).  A nonzero
   /// slack trades interleaving fidelity for fewer OS handoffs: the caller
   /// keeps running until it is `slack` ahead of the earliest ready thread,
   /// bounding the resource-order error by `slack` (DESIGN.md section 5.1).
+  /// Under the engine the comparison is against the caller's own shard, and
+  /// a caller past the phase horizon hands back so the phase can end.
   void yield(sim::Time slack = 0);
   /// Quantum-based scheduling point used by charged operations: checks every
   /// `quantum` of local progress and hands off with hysteresis, so
@@ -221,33 +309,77 @@ class Conductor {
   /// Earliest clock among other ready threads (max value if none).
   sim::Time min_other_ready_clock() const;
 
-  std::size_t live_threads() const { return live_; }
+  /// The cross-shard gate (called via arch::CrossGate from Machine, and
+  /// directly by sync primitives and the runtime).  Outside a phase -- the
+  /// sequential loop, fusion, or host code -- this is a no-op and the
+  /// operation runs inline.  Inside a phase it parks the calling thread on
+  /// its shard's event queue until the next fusion point; on return the
+  /// caller is serialized and may touch any shard's state.
+  void defer_cross();
+  void on_cross() override { defer_cross(); }
 
-  /// Monotonic count of scheduling dispatches, bumped once per run_once().
-  /// The only cross-thread-readable signal the conductor exports: the
-  /// rt::Watchdog polls it from its own OS thread to detect a wedged
-  /// simulation (no dispatches for N wall-seconds).
+  /// True when this conductor schedules with the sharded PDES engine
+  /// (multi-node topology); single-node machines keep the classic
+  /// sequential loop bit-for-bit.
+  bool engine_active() const { return nodes_ > 1; }
+  unsigned nodes() const { return nodes_; }
+
+  /// Requests `w` phase worker threads (clamped to [1, nodes]).  Only the
+  /// kPdes backend fans out; kFibers/kThreads always run phases on the
+  /// conductor's own thread.  Takes effect at the next run().
+  void set_workers(unsigned w);
+  /// Worker count the current/next run uses (after clamping and overrides).
+  unsigned workers() const { return workers_eff_; }
+  /// Forces single-worker phases regardless of --shards: set by the runtime
+  /// whenever an observation hook (fault hook, sync observer, fail-stop
+  /// policy, machine observer) is attached, because hooks may legally touch
+  /// cross-shard state without gating.  The *schedule* is worker-count
+  /// independent, so this changes wall-clock only, never a digest.
+  void set_serial_override(bool on) { serial_override_ = on; }
+
+  /// The lookahead window of the current run (0 when the engine is off).
+  sim::Time lookahead() const { return lookahead_; }
+
+  std::size_t live_threads() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic count of scheduling dispatches.  The only cross-thread-
+  /// readable signal the conductor exports: the rt::Watchdog polls it from
+  /// its own OS thread to detect a wedged simulation (no dispatches for N
+  /// wall-seconds).  Under the engine each phase worker bumps its own
+  /// padded slot and this sums them, so the watchdog sees aggregate
+  /// progress across every shard and a shard idling inside its lookahead
+  /// window while others dispatch is never a false stall.
   ///
-  /// Memory order: relaxed on both sides, deliberately.  The counter is
-  /// monotonic and carries no payload -- the watchdog only compares two
+  /// Memory order: relaxed on both sides, deliberately.  The counters are
+  /// monotonic and carry no payload -- the watchdog only compares two
   /// reads for *inequality*, never dereferences anything published by the
   /// increment -- so no acquire/release pairing is needed; a stale read
   /// just delays stall detection by at most one 100 ms poll.  Audited under
   /// the tsan CI leg (tests/test_rt.cc, Watchdog.PollsLiveRunWithoutRaces;
   /// docs/STATIC_ANALYSIS.md).
   std::uint64_t progress() const {
-    return progress_.load(std::memory_order_relaxed);
+    std::uint64_t sum = 0;
+    for (const ProgressSlot& s : progress_slots_) {
+      sum += s.count.load(std::memory_order_relaxed);
+    }
+    return sum;
   }
 
   /// Per-thread blocked-on diagnosis of the current wait-for graph: one line
   /// per non-Done thread plus the cycle (deadlock) or its absence (lost
   /// wakeup).  Used verbatim by the all-blocked deadlock throw, the
   /// block-time cycle throw, and the destruction path, so every way a
-  /// deadlock surfaces prints the same actionable report.
-  std::string blocked_report() const;
+  /// deadlock surfaces prints the same actionable report.  `only_node`
+  /// restricts the report to one shard (used when diagnosing from inside a
+  /// phase, where other shards' threads are live on other workers).
+  std::string blocked_report(int only_node = -1) const;
 
  private:
   friend class SThread;
+  friend class FusionScope;
+  friend class ShardedConductor;
 
   struct Order {
     bool operator()(const SThread* a, const SThread* b) const {
@@ -256,29 +388,100 @@ class Conductor {
     }
   };
 
+  using ReadySet = std::set<SThread*, Order>;
+
+  /// A thread parked at a cross-shard gate, awaiting fusion.
+  struct Parked {
+    pdes::EventKey key;
+    SThread* thread = nullptr;
+  };
+
+  struct alignas(64) ProgressSlot {
+    std::atomic<std::uint64_t> count{0};
+  };
+  /// One per possible phase worker plus one for the coordinator.
+  static constexpr unsigned kProgressSlots = arch::kMaxNodes + 1;
+
+  /// Classic sequential scheduling loop (single-node topologies).
   void loop();
+  /// Sharded engine: alternate phases and fusions until quiescence.
+  void engine_loop();
+  /// Drains shard `n`'s ready set up to the phase horizon.  Called by the
+  /// coordinator (one worker) or by shard workers (kPdes).  A thread error
+  /// is recorded in node_errors_[n] and ends the shard's phase.
+  void drain_node(unsigned n);
+  /// Pops every shard's event queue, sorts by EventKey, resumes each parked
+  /// thread serially (the fusion rendezvous).
+  void fuse();
+  /// Rethrows the recorded error of the lowest-numbered shard, if any,
+  /// counting deadlock diagnoses exactly once on the way out.
+  void propagate_node_errors();
+  /// Rethrows a thread error, counting a deadlock diagnosis exactly once.
+  [[noreturn]] void propagate_thread_error(std::exception_ptr err);
+  /// Common post-run teardown (both success and error paths).
+  void cleanup_run();
+  void bump_progress() { do_bump_progress(); }
+  void do_bump_progress();
+
   /// Wakes every non-finished thread with the shutdown flag and joins it
   /// (used on simulated deadlock and at destruction).  If threads are still
   /// blocked and no deadlock diagnosis has been emitted yet, logs the same
   /// wait-for report the deadlock throw would have carried.
   void shutdown_all();
 
+  /// tid -> thread under the per-shard allocation scheme (null if unknown).
+  SThread* thread_by_tid(unsigned tid) const;
+  std::size_t total_blocked() const;
+
   /// Follows waits-for edges from `start` through blocked threads; returns
   /// the tid cycle (start first) or empty when none is reachable.
-  std::vector<unsigned> find_cycle(const SThread& start) const;
+  /// `same_node_only` restricts the walk to `start`'s shard: used for the
+  /// block-time pre-check inside a phase, where other shards' thread state
+  /// is concurrently live.  (Cross-shard waits are only ever established at
+  /// serialized points, so an in-phase cycle is necessarily same-shard.)
+  std::vector<unsigned> find_cycle(const SThread& start,
+                                   bool same_node_only = false) const;
 
   arch::Machine& machine_;
   ConductorBackend backend_;
+  bool use_fibers_;  ///< stacks are fibers (vs one OS thread per SThread).
+  unsigned nodes_;   ///< shard count = hypernode count (fixed per machine).
+
   /// Fiber backend: the conductor's own (host-thread) context slot.
   Fiber main_ctx_;
-  std::vector<std::unique_ptr<SThread>> threads_;
-  std::set<SThread*, Order> ready_;
-  std::size_t live_ = 0;     ///< threads not yet Done.
-  std::size_t blocked_ = 0;  ///< threads currently Blocked.
-  unsigned next_tid_ = 0;
-  std::atomic<std::uint64_t> progress_{0};  ///< dispatch count (watchdog).
+
+  // Per-shard scheduling state.  During a phase, slot n is touched only by
+  // the worker draining shard n; at every other moment exactly one host
+  // thread (the coordinator) is active.  Single-node machines use slot 0
+  // exclusively, which is the classic sequencer's state verbatim.
+  std::vector<std::vector<std::unique_ptr<SThread>>> owned_;
+  std::vector<ReadySet> ready_by_node_;
+  std::vector<std::size_t> blocked_by_node_;
+  std::vector<unsigned> next_seq_;  ///< per-shard spawn counter (tid alloc).
+  std::vector<pdes::SpscQueue<Parked>> parked_;  ///< per-shard gate queues.
+  std::vector<std::uint64_t> park_seq_;  ///< per-shard event sequence.
+  std::vector<std::exception_ptr> node_errors_;
+
+  /// Threads not yet Done (all shards).  Atomic because shard workers
+  /// retire (and spawn) threads concurrently during phases; relaxed is
+  /// enough -- readers only want a recent count, never an ordering.
+  std::atomic<std::size_t> live_{0};
+
+  // Engine run state.  in_phase_ flips only at phase barriers (workers
+  // quiescent), so plain bools are race-free; workers read them inside the
+  // barrier-established happens-before.
+  bool in_phase_ = false;
+  sim::Time horizon_ = 0;
+  sim::Time lookahead_ = 0;
+  unsigned requested_workers_;  ///< from SPP_SHARDS / set_workers().
+  unsigned workers_eff_ = 1;
+  bool serial_override_ = false;
+  std::unique_ptr<ShardedConductor> sharded_;
+  std::vector<Parked> fusion_order_;  ///< scratch, reused across fusions.
+
+  std::array<ProgressSlot, kProgressSlots> progress_slots_;
   bool running_ = false;
-  bool diagnosed_ = false;   ///< a wait-for report has been emitted.
+  std::atomic<bool> diagnosed_{false};  ///< a wait-for report was emitted.
 };
 
 }  // namespace spp::rt

@@ -1,0 +1,62 @@
+#include "spp/rt/sharded.h"
+
+namespace spp::rt {
+
+ShardedConductor::ShardedConductor(Conductor& cond, unsigned workers)
+    : cond_(cond), workers_(workers) {
+  host_ctxs_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    host_ctxs_.push_back(std::make_unique<Fiber>());
+  }
+  threads_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ShardedConductor::~ShardedConductor() {
+  {
+    HostLock lk(mu_);
+    shutdown_ = true;
+    start_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ShardedConductor::run_phase() {
+  HostLock lk(mu_);
+  done_count_ = 0;
+  ++epoch_;
+  start_cv_.notify_all();
+  while (done_count_ != workers_) done_cv_.wait(mu_);
+}
+
+void ShardedConductor::worker_main(unsigned w) {
+  Fiber* ctx = host_ctxs_[w].get();
+  ctx->seed_host_stack();
+  bind_worker_thread(w, ctx);
+  const unsigned nodes = cond_.nodes_;
+  const unsigned lo = w * nodes / workers_;
+  const unsigned hi = (w + 1) * nodes / workers_;
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      HostLock lk(mu_);
+      while (epoch_ == seen && !shutdown_) start_cv_.wait(mu_);
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    // Conductor::drain_node never throws: thread errors (and anything the
+    // dispatch machinery raises) land in node_errors_[n] for the
+    // coordinator to propagate deterministically after the rendezvous.
+    for (unsigned n = lo; n < hi; ++n) cond_.drain_node(n);
+    {
+      HostLock lk(mu_);
+      if (++done_count_ == workers_) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace spp::rt

@@ -1,0 +1,71 @@
+// Phase worker pool for the sharded PDES engine (rt/conductor.h).
+//
+// Under the kPdes backend each phase fans out over a pool of OS worker
+// threads: worker w drains the contiguous shard (hypernode) range
+// [w*nodes/W, (w+1)*nodes/W).  Shards never share a worker's range with
+// another worker, so all per-shard conductor state is single-writer during
+// a phase; the only cross-thread traffic is the per-shard SPSC event queue
+// (consumed later, by the fusion coordinator) and the epoch/done barrier
+// here.  Because which worker carries which shard range affects host
+// wall-clock only -- never the simulated schedule -- every digest is
+// identical at any worker count.
+//
+// The pool is persistent for one Conductor::run(): workers park on a
+// condition variable between phases (a phase is typically tens of
+// microseconds of host work; thread churn would dominate it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "spp/lib/thread_annotations.h"
+#include "spp/rt/conductor.h"
+#include "spp/rt/fiber.h"
+#include "spp/rt/host_mutex.h"
+
+namespace spp::rt {
+
+class ShardedConductor {
+ public:
+  /// Spawns `workers` phase workers (>= 2; a single worker runs phases on
+  /// the coordinator's own thread without this class).
+  ShardedConductor(Conductor& cond, unsigned workers);
+  ~ShardedConductor();
+
+  ShardedConductor(const ShardedConductor&) = delete;
+  ShardedConductor& operator=(const ShardedConductor&) = delete;
+
+  /// Runs one phase: releases every worker to drain its shard range up to
+  /// the conductor's current horizon, then waits for all of them.  The
+  /// mutex acquire/release pair publishes the coordinator's pre-phase state
+  /// (horizon, in_phase_) to workers and the workers' phase results back.
+  void run_phase();
+
+ private:
+  friend class Conductor;
+
+  /// Installs the worker's thread-locals in conductor.cc (host fiber
+  /// context to resume fibers from, progress slot index).
+  static void bind_worker_thread(unsigned worker, Fiber* host_ctx);
+
+  void worker_main(unsigned w);
+
+  Conductor& cond_;
+  const unsigned workers_;
+  /// Per-worker host fiber context slots (fibers hand back to the worker
+  /// that resumed them).  unique_ptr because Fiber is pinned (non-movable).
+  std::vector<std::unique_ptr<Fiber>> host_ctxs_;
+
+  HostMutex mu_;
+  HostCondVar start_cv_;
+  HostCondVar done_cv_;
+  std::uint64_t epoch_ SPP_GUARDED_BY(mu_) = 0;
+  unsigned done_count_ SPP_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SPP_GUARDED_BY(mu_) = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace spp::rt

@@ -1,0 +1,53 @@
+// Seeded violations for the cross-shard-event-queue check: code outside the
+// PDES engine (src/spp/pdes/, src/spp/rt/) reaching shard-owned machine
+// state or owning an SPSC event queue directly.  Under the sharded engine
+// each hypernode's directory maps, gcaches, and the engine gate are
+// single-writer within a phase; the only sanctioned cross-shard channel is
+// the conductor's per-shard queue, entered through arch::CrossGate.
+// spp-lint-fixture: as-path src/spp/pvm/bad_cross_shard.cc
+// spp-lint-fixture: expect cross-shard-event-queue
+
+#include <cstdint>
+
+namespace spp {
+
+struct HomeEntry {
+  std::uint8_t cpu_sharers = 0;
+};
+
+struct Machine {
+  HomeEntry& home_entry(std::uint64_t line);
+  void set_gate(void* gate) { (void)gate; }
+  void fold_shard_counters() {}
+  void access(std::uint64_t va) { (void)va; }
+};
+
+Machine& machine();
+
+namespace pdes {
+template <typename T>
+class SpscQueue {};
+}  // namespace pdes
+
+void bad_sites() {
+  // flagged: mutating another shard's home directory entry behind the phase
+  // workers' backs instead of parking at the fusion rendezvous.
+  machine().home_entry(0x40).cpu_sharers = 0;
+  // flagged: detaching the engine gate from outside the engine.
+  machine().set_gate(nullptr);
+  // flagged: folding the per-shard counter slots mid-phase.
+  machine().fold_shard_counters();
+}
+
+struct Mailbox {
+  // flagged: a private cross-shard event channel outside the engine.
+  pdes::SpscQueue<int> events_;
+};
+
+void ok_patterns() {
+  // Charged accessors are the sanctioned way in: the machine's own gate
+  // parks the caller if the access would leave its shard.
+  machine().access(0x80);
+}
+
+}  // namespace spp

@@ -1,0 +1,164 @@
+// Tests for the sharded PDES engine (docs/PERFORMANCE.md, "Sharded PDES
+// backend"): deterministic cross-shard event ordering, digest invariance
+// across worker counts, and watchdog supervision of multi-worker phases.
+//
+// The engine's contract is that the number of worker threads carrying the
+// shards is a pure host-side detail: every simulated observable --
+// PerfCounters::digest above all -- is bit-identical at --shards 1, 2, and
+// 4, and identical to the sequential fiber backend.  These tests are the
+// in-tree half of that guarantee; the sppsim-bench --backend both leg and
+// the committed BENCH_pdes_*.json baselines are the tool half.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "spp/apps/nbody/nbody.h"
+#include "spp/apps/ppm/ppm.h"
+#include "spp/arch/topology.h"
+#include "spp/pdes/event.h"
+#include "spp/rt/conductor.h"
+#include "spp/rt/runtime.h"
+#include "spp/rt/watchdog.h"
+
+namespace spp {
+namespace {
+
+using arch::Topology;
+
+// --- EventKey tie-breaking -------------------------------------------------
+
+TEST(PdesEventKey, TimestampDominates) {
+  const pdes::EventKey early{.ts = 10, .shard = 3, .seq = 99};
+  const pdes::EventKey late{.ts = 11, .shard = 0, .seq = 0};
+  EXPECT_LT(early, late);
+  EXPECT_FALSE(late < early);
+}
+
+TEST(PdesEventKey, SameTimestampBreaksOnShardId) {
+  // Two shards defer at the same simulated instant: the lower shard id
+  // replays first, regardless of which worker queued first on the host.
+  const pdes::EventKey s1{.ts = 42, .shard = 1, .seq = 7};
+  const pdes::EventKey s2{.ts = 42, .shard = 2, .seq = 0};
+  EXPECT_LT(s1, s2);
+  EXPECT_FALSE(s2 < s1);
+}
+
+TEST(PdesEventKey, SameShardBreaksOnSequence) {
+  // Same shard, same timestamp: the shard's own dispatch order (the
+  // per-shard monotonic seq) is preserved, i.e. program order.
+  const pdes::EventKey a{.ts = 42, .shard = 1, .seq = 7};
+  const pdes::EventKey b{.ts = 42, .shard = 1, .seq = 8};
+  EXPECT_LT(a, b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE((a == pdes::EventKey{.ts = 42, .shard = 1, .seq = 7}));
+}
+
+TEST(PdesEventKey, TotalOrderIsStrict) {
+  const std::vector<pdes::EventKey> keys = {
+      {.ts = 5, .shard = 2, .seq = 1}, {.ts = 5, .shard = 2, .seq = 0},
+      {.ts = 5, .shard = 0, .seq = 9}, {.ts = 4, .shard = 3, .seq = 0},
+      {.ts = 6, .shard = 0, .seq = 0},
+  };
+  for (const auto& a : keys) {
+    EXPECT_FALSE(a < a);
+    for (const auto& b : keys) {
+      if (a == b) continue;
+      EXPECT_NE(a < b, b < a);
+    }
+  }
+}
+
+// --- digest invariance across shard counts ---------------------------------
+
+std::uint64_t nbody_digest(rt::ConductorBackend be, unsigned shards) {
+  rt::Runtime rt(Topology{.nodes = 4}, arch::CostModel{}, be);
+  if (shards != 0) rt.conductor().set_workers(shards);
+  nbody::NbodyConfig cfg;
+  cfg.n = 192;
+  cfg.steps = 2;
+  nbody::NbodyShared nb(rt, cfg, 16, rt::Placement::kUniform);
+  rt.run([&] { (void)nb.run(); });
+  return rt.machine().perf().digest(rt.elapsed());
+}
+
+std::uint64_t ppm_digest(rt::ConductorBackend be, unsigned shards) {
+  rt::Runtime rt(Topology{.nodes = 4}, arch::CostModel{}, be);
+  if (shards != 0) rt.conductor().set_workers(shards);
+  ppm::PpmConfig cfg;
+  cfg.nx = 24;
+  cfg.ny = 24;
+  cfg.tiles_x = 4;
+  cfg.tiles_y = 4;
+  cfg.steps = 3;
+  ppm::PpmTiled ppm(rt, cfg, 16, rt::Placement::kUniform);
+  ppm.init_blast(3.0, 4.0);
+  rt.run([&] { (void)ppm.run(); });
+  return rt.machine().perf().digest(rt.elapsed());
+}
+
+TEST(PdesDigest, NbodyInvariantAcrossShardCounts) {
+  const std::uint64_t w1 = nbody_digest(rt::ConductorBackend::kPdes, 1);
+  const std::uint64_t w2 = nbody_digest(rt::ConductorBackend::kPdes, 2);
+  const std::uint64_t w4 = nbody_digest(rt::ConductorBackend::kPdes, 4);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1, w4);
+  // And identical to the sequential reference backends.
+  EXPECT_EQ(w1, nbody_digest(rt::ConductorBackend::kThreads, 0));
+  if (rt::fibers_available()) {
+    EXPECT_EQ(w1, nbody_digest(rt::ConductorBackend::kFibers, 0));
+  }
+}
+
+TEST(PdesDigest, PpmInvariantAcrossShardCounts) {
+  const std::uint64_t w1 = ppm_digest(rt::ConductorBackend::kPdes, 1);
+  const std::uint64_t w2 = ppm_digest(rt::ConductorBackend::kPdes, 2);
+  const std::uint64_t w4 = ppm_digest(rt::ConductorBackend::kPdes, 4);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1, w4);
+  EXPECT_EQ(w1, ppm_digest(rt::ConductorBackend::kThreads, 0));
+  if (rt::fibers_available()) {
+    EXPECT_EQ(w1, ppm_digest(rt::ConductorBackend::kFibers, 0));
+  }
+}
+
+// Repeated runs at the same shard count are also bit-stable (no hidden host
+// nondeterminism leaking through the queues).
+TEST(PdesDigest, RepeatedRunsAreBitStable) {
+  const std::uint64_t a = nbody_digest(rt::ConductorBackend::kPdes, 4);
+  const std::uint64_t b = nbody_digest(rt::ConductorBackend::kPdes, 4);
+  EXPECT_EQ(a, b);
+}
+
+// --- watchdog under the sharded engine -------------------------------------
+
+// Conductor::progress() sums the per-shard dispatch slots, so a run whose
+// dispatching happens on shard workers (not the coordinator) still reads as
+// live.  A watchdog with a generous budget must stay silent across several
+// poll periods while 4 workers carry the phases; if progress() only counted
+// coordinator dispatches it would false-stall here (the coordinator mostly
+// sleeps at the fusion rendezvous during a phase).
+TEST(PdesWatchdog, SumsShardProgressWithoutFalseStall) {
+  rt::Runtime rt(Topology{.nodes = 4}, arch::CostModel{},
+                 rt::ConductorBackend::kPdes);
+  rt.conductor().set_workers(4);
+  rt::Watchdog dog(rt.conductor(), /*stall_seconds=*/60.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t rounds = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() < 0.35) {
+    rt.run([&] {
+      rt.parallel(16, rt::Placement::kUniform,
+                  [&](unsigned, unsigned) { rt.work_flops(500); });
+    });
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 0u);
+  // Every dispatch on every shard worker is visible to the supervisor.
+  EXPECT_GT(rt.conductor().progress(), rounds);
+}
+
+}  // namespace
+}  // namespace spp

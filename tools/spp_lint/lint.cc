@@ -153,13 +153,17 @@ void check_wallclock(const SourceFile& f, Result& res) {
 
 void check_host_thread(const SourceFile& f, Result& res) {
   static const char kCheck[] = "sim-no-host-thread";
-  // Host concurrency lives in exactly two places: the conductor/fiber layer
-  // (rt/) and durable checkpointing (ckpt/).  Everywhere else, parallelism
-  // is *simulated* -- SThreads multiplexed by the conductor -- and a real
+  // Host concurrency lives in exactly three places: the conductor/fiber
+  // layer (rt/), the PDES engine's lock-free event queues (pdes/), and
+  // durable checkpointing (ckpt/).  Everywhere else, parallelism is
+  // *simulated* -- SThreads multiplexed by the conductor -- and a real
   // std::thread would race the single-owner simulation state.
   if (!starts_with(f.path, "src/spp/")) return;
-  if (starts_with(f.path, "src/spp/rt/") || starts_with(f.path, "src/spp/ckpt/"))
+  if (starts_with(f.path, "src/spp/rt/") ||
+      starts_with(f.path, "src/spp/pdes/") ||
+      starts_with(f.path, "src/spp/ckpt/")) {
     return;
+  }
 
   static const std::set<std::string> kBadIncludes = {
       "thread", "mutex", "shared_mutex", "condition_variable", "atomic",
@@ -311,10 +315,12 @@ const std::set<std::string> kCharged = {"access", "access_block",
                                         "access_uncached", "atomic_rmw",
                                         "flush_l1", "allocate"};
 /// Cold-path host/recovery controls: legal, but inventoried because the
-/// PDES refactor must route them between shards explicitly.
-const std::set<std::string> kControl = {"reset_stats", "power_cycle",
-                                        "set_observer", "set_link_alive",
-                                        "set_link_degrade"};
+/// PDES engine routes them between shards explicitly (set_gate and
+/// fold_shard_counters are the engine's own serialized attach points).
+const std::set<std::string> kControl = {
+    "reset_stats",    "power_cycle",        "set_observer",
+    "set_link_alive", "set_link_degrade",   "set_gate",
+    "fold_shard_counters"};
 
 /// Names that denote an arch::Machine in this codebase (locals, members,
 /// and the ubiquitous `machine()` accessor on sim state).
@@ -496,6 +502,60 @@ void check_arch_mutation(const SourceFile& f, Result& res) {
         }
         classified = true;
       }
+    }
+    i = end - 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cross-shard-event-queue
+// ---------------------------------------------------------------------------
+
+void check_cross_shard(const SourceFile& f, Result& res) {
+  static const char kCheck[] = "cross-shard-event-queue";
+  // Under the sharded PDES engine every hypernode's slice of machine state
+  // (its home-directory map, its gcaches, the engine gate) is single-writer
+  // within a phase.  The one sanctioned way to affect another shard is the
+  // conductor's per-shard SPSC event queue, entered through arch::CrossGate.
+  // Only the engine itself (src/spp/pdes/, src/spp/rt/) and arch may touch
+  // these; a direct reach from anywhere else would mutate a foreign shard
+  // behind the workers' backs.
+  if (!starts_with(f.path, "src/")) return;  // tools/ and tests/ are host code.
+  if (starts_with(f.path, "src/spp/arch/") ||
+      starts_with(f.path, "src/spp/rt/") ||
+      starts_with(f.path, "src/spp/pdes/")) {
+    return;
+  }
+
+  /// Machine members that address one shard's slice of coherence state, plus
+  /// the engine attach points.  Reaching them from outside the engine skips
+  /// the event-queue serialization.
+  static const std::set<std::string> kShardOwned = {
+      "home_entry", "dir_for",           "gcache_for", "directory_",
+      "gcaches_",   "fold_shard_counters", "set_gate"};
+
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    if (t[i].text == "SpscQueue") {
+      emit(res, f, kCheck, t[i].line,
+           "'SpscQueue' is the PDES engine's cross-shard event channel; only "
+           "src/spp/pdes/ and src/spp/rt/ may own shard queues -- route "
+           "cross-shard effects through arch::CrossGate so they serialize at "
+           "the fusion rendezvous");
+      continue;
+    }
+    if (!is_machine_receiver(t, i)) continue;
+    std::vector<std::pair<std::string, int>> members;
+    std::size_t end = walk_chain(t, i, members);
+    for (const auto& [name, line] : members) {
+      if (kShardOwned.count(name) == 0) continue;
+      emit(res, f, kCheck, line,
+           "'" + name + "' reaches shard-owned machine state directly; "
+           "outside the PDES engine, cross-shard mutation must go through "
+           "the conductor's per-shard event queues (arch::CrossGate), not "
+           "behind the phase workers' backs");
+      break;
     }
     i = end - 1;
   }
@@ -752,6 +812,7 @@ Result run_checks(const std::vector<SourceFile>& files) {
     check_host_thread(f, res);
     check_posix_io(f, res);
     check_arch_mutation(f, res);
+    check_cross_shard(f, res);
   }
   check_digest_iter(files, res);
 

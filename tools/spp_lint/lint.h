@@ -1,12 +1,12 @@
 // spp-lint check engine (docs/STATIC_ANALYSIS.md).
 //
-// Five project-specific checks over the token streams lexer.h produces:
+// Six project-specific checks over the token streams lexer.h produces:
 //
 //   sim-no-wallclock        no wall-clock or entropy sources in simulated
 //                           code (allowlist: rt::Watchdog, ckpt::Disk,
 //                           spp::io backoff, and everything outside src/)
 //   sim-no-host-thread      no host threading primitives outside
-//                           src/spp/rt/ and src/spp/ckpt/
+//                           src/spp/rt/, src/spp/pdes/, and src/spp/ckpt/
 //   posix-file-io           no raw POSIX/stdio file APIs outside
 //                           src/spp/io/ -- every host file operation in
 //                           simulated code routes through the io::File /
@@ -20,6 +20,14 @@
 //   digest-iter-determinism flags range-for over unordered containers in
 //                           functions reachable from PerfCounters::digest
 //                           or ckpt::Store::capture
+//   cross-shard-event-queue outside the PDES engine (src/spp/pdes/,
+//                           src/spp/rt/) and arch itself, code must not
+//                           reach shard-owned machine state (per-node
+//                           directory maps, gcaches, the engine gate)
+//                           directly, nor own pdes::SpscQueue channels;
+//                           cross-shard effects route through the
+//                           conductor's per-shard event queues via
+//                           arch::CrossGate
 //
 // Suppression: a `// spp-lint: allow(<check>): reason` comment on the same
 // line or the line above a finding silences it; fixtures under
@@ -61,7 +69,7 @@ struct Result {
   std::vector<MutationSite> sites;
 };
 
-/// Runs all five checks over `files` (one entry per analyzed file; the
+/// Runs all six checks over `files` (one entry per analyzed file; the
 /// digest-iter-determinism call graph spans all of them).
 Result run_checks(const std::vector<SourceFile>& files);
 

@@ -45,6 +45,15 @@ struct Measurement {
 /// benches stay bit-identical to their committed baselines.
 ckpt::DurableSpec g_durable;
 
+/// --shards: worker count for the pdes backend (0 = library default, i.e.
+/// SPP_SHARDS or one worker per hypernode).  Never changes any digest --
+/// docs/PERFORMANCE.md, "Sharded PDES backend".
+unsigned g_shards = 0;
+
+void apply_shards(rt::Runtime& runtime) {
+  if (g_shards != 0) runtime.conductor().set_workers(g_shards);
+}
+
 Measurement seal(rt::Runtime& runtime) {
   return {runtime.elapsed(),
           runtime.machine().perf().digest(runtime.elapsed())};
@@ -57,6 +66,7 @@ Measurement seal(rt::Runtime& runtime) {
 
 Measurement bench_scheduling(rt::ConductorBackend be, bool smoke) {
   rt::Runtime runtime(arch::Topology{.nodes = 2}, arch::CostModel{}, be);
+  apply_shards(runtime);
   const std::size_t n = smoke ? 2048 : 16384;
   rt::LoopOptions opts;
   opts.schedule = rt::Schedule::kDynamic;
@@ -72,6 +82,7 @@ Measurement bench_scheduling(rt::ConductorBackend be, bool smoke) {
 
 Measurement bench_psort(rt::ConductorBackend be, bool smoke) {
   rt::Runtime runtime(arch::Topology{.nodes = 2}, arch::CostModel{}, be);
+  apply_shards(runtime);
   const std::size_t n = smoke ? 4096 : 65536;
   rt::GlobalArray<double> data(runtime, n, arch::MemClass::kFarShared,
                                "bench.sort");
@@ -83,6 +94,7 @@ Measurement bench_psort(rt::ConductorBackend be, bool smoke) {
 
 Measurement bench_scatter(rt::ConductorBackend be, bool smoke) {
   rt::Runtime runtime(arch::Topology{.nodes = 2}, arch::CostModel{}, be);
+  apply_shards(runtime);
   const std::size_t n = 1u << 14;
   const std::size_t m = smoke ? (1u << 14) : (1u << 17);
   rt::GlobalArray<double> target(runtime, n, arch::MemClass::kFarShared,
@@ -100,6 +112,7 @@ Measurement bench_scatter(rt::ConductorBackend be, bool smoke) {
 
 Measurement bench_nbody(rt::ConductorBackend be, bool smoke) {
   rt::Runtime runtime(arch::Topology{.nodes = 1}, arch::CostModel{}, be);
+  apply_shards(runtime);
   nbody::NbodyConfig cfg;
   cfg.n = smoke ? 256 : 1024;
   cfg.steps = 2;
@@ -114,6 +127,38 @@ Measurement bench_nbody(rt::ConductorBackend be, bool smoke) {
   return seal(runtime);
 }
 
+// The pdes_* benches are the sharded engine's acceptance workloads: the same
+// scheduling and nbody codes scaled to a 4-hypernode topology so the engine
+// runs one worker per node.  Their committed BENCH_pdes_*.json baselines
+// record the fibers-vs-pdes wall-clock ratio alongside the shared digest
+// (docs/PERFORMANCE.md, "Sharded PDES backend").
+
+Measurement bench_pdes_scheduling(rt::ConductorBackend be, bool smoke) {
+  rt::Runtime runtime(arch::Topology{.nodes = 4}, arch::CostModel{}, be);
+  apply_shards(runtime);
+  const std::size_t n = smoke ? 4096 : 65536;
+  rt::LoopOptions opts;
+  opts.schedule = rt::Schedule::kStatic;
+  runtime.run([&] {
+    rt::parallel_for(runtime, n, 32, rt::Placement::kUniform, opts,
+                     [&](std::size_t i) {
+                       runtime.work_flops(40.0 + static_cast<double>(i & 7));
+                     });
+  });
+  return seal(runtime);
+}
+
+Measurement bench_pdes_nbody(rt::ConductorBackend be, bool smoke) {
+  rt::Runtime runtime(arch::Topology{.nodes = 4}, arch::CostModel{}, be);
+  apply_shards(runtime);
+  nbody::NbodyConfig cfg;
+  cfg.n = smoke ? 512 : 2048;
+  cfg.steps = 2;
+  nbody::NbodyShared nb(runtime, cfg, 32, rt::Placement::kUniform);
+  runtime.run([&] { (void)nb.run(); });
+  return seal(runtime);
+}
+
 struct BenchDef {
   const char* name;
   Measurement (*fn)(rt::ConductorBackend, bool);
@@ -124,12 +169,21 @@ constexpr BenchDef kBenches[] = {
     {"psort", bench_psort},
     {"scatter", bench_scatter},
     {"nbody", bench_nbody},
+    {"pdes_scheduling", bench_pdes_scheduling},
+    {"pdes_nbody", bench_pdes_nbody},
 };
 
 // --- harness ---------------------------------------------------------------
 
 const char* backend_name(rt::ConductorBackend be) {
-  return be == rt::ConductorBackend::kFibers ? "fibers" : "threads";
+  switch (be) {
+    case rt::ConductorBackend::kFibers:
+      return "fibers";
+    case rt::ConductorBackend::kPdes:
+      return "pdes";
+    default:
+      return "threads";
+  }
 }
 
 struct RunRecord {
@@ -167,6 +221,7 @@ bool write_json(const std::string& dir, const char* bench, bool smoke,
   out << "{\n"
       << "  \"bench\": \"" << bench << "\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"shards\": " << g_shards << ",\n"
       << "  \"sim_ns\": " << runs.front().m.sim_ns << ",\n"
       << "  \"digest\": \"" << digest_buf << "\",\n"
       << "  \"runs\": [\n";
@@ -251,16 +306,20 @@ int check_against(const std::string& dir, const char* bench, bool smoke,
 int usage() {
   std::fprintf(
       stderr,
-      "usage: sppsim-bench [--smoke] [--backend threads|fibers|both]\n"
-      "                    [--bench NAME]... [--out DIR | --check DIR]\n"
+      "usage: sppsim-bench [--smoke] [--backend threads|fibers|pdes|both]\n"
+      "                    [--shards N] [--bench NAME]...\n"
+      "                    [--out DIR | --check DIR]\n"
       "                    [--ckpt-dir DIR [--ckpt-wall-interval SEC] "
       "[--resume]]\n"
       "\n"
-      "Benches: scheduling psort scatter nbody (default: all).\n"
-      "--backend both runs each bench under both conductor backends and\n"
-      "fails if simulated time or the counter digest differ.  --out writes\n"
-      "BENCH_<name>.json baselines; --check compares against committed\n"
-      "ones (sim time + digest only; wall time is informational).\n"
+      "Benches: scheduling psort scatter nbody pdes_scheduling pdes_nbody\n"
+      "(default: all).  --backend both runs each bench under every built\n"
+      "conductor backend (fibers, threads, pdes) and fails if simulated\n"
+      "time or the counter digest differ.  --shards N picks the pdes\n"
+      "worker count (default: one per hypernode); digests never depend on\n"
+      "it.  --out writes BENCH_<name>.json baselines; --check compares\n"
+      "against committed ones (sim time + digest only; wall time is\n"
+      "informational).\n"
       "--ckpt-dir makes the nbody bench a durable run (epoch commits to\n"
       "disk, bit-exact --resume; docs/RECOVERY.md) -- its digest then\n"
       "includes the checkpoint charges, so don't mix with --check against\n"
@@ -289,6 +348,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       backend = v;
+    } else if (arg == "--shards") {
+      const char* v = value();
+      if (v == nullptr || std::atol(v) <= 0) return usage();
+      g_shards = static_cast<unsigned>(std::atol(v));
     } else if (arg == "--bench") {
       const char* v = value();
       if (v == nullptr) return usage();
@@ -333,21 +396,25 @@ int main(int argc, char** argv) {
       return 2;
     }
     backends = {rt::ConductorBackend::kFibers};
+  } else if (backend == "pdes") {
+    backends = {rt::ConductorBackend::kPdes};
   } else if (backend == "both") {
+    // Divergence oracle: the sequential fiber backend is the reference and
+    // runs first; the sharded pdes engine must match it bit for bit.
     if (rt::fibers_available()) {
-      backends = {rt::ConductorBackend::kFibers,
-                  rt::ConductorBackend::kThreads};
+      backends = {rt::ConductorBackend::kFibers, rt::ConductorBackend::kThreads,
+                  rt::ConductorBackend::kPdes};
     } else {
       std::fprintf(stderr,
-                   "sppsim-bench: fiber backend unavailable; running the "
-                   "OS-thread backend only\n");
-      backends = {rt::ConductorBackend::kThreads};
+                   "sppsim-bench: fiber backend unavailable; comparing the "
+                   "OS-thread and pdes backends only\n");
+      backends = {rt::ConductorBackend::kThreads, rt::ConductorBackend::kPdes};
     }
   } else {
     return usage();
   }
 
-  std::printf("%-12s %10s | %12s %18s | per-backend wall ms\n", "bench",
+  std::printf("%-16s %6s | %12s %18s | per-backend wall ms\n", "bench",
               "mode", "sim_ms", "digest");
   int rc = 0;
   for (const BenchDef& b : kBenches) {
@@ -376,16 +443,21 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::printf("%-12s %10s | %12.3f 0x%016" PRIx64 " |", b.name,
+    std::printf("%-16s %6s | %12.3f 0x%016" PRIx64 " |", b.name,
                 smoke ? "smoke" : "full",
                 static_cast<double>(canon.sim_ns) / 1e6, canon.digest);
     for (const RunRecord& r : runs) {
       std::printf(" %s=%.1f", backend_name(r.backend),
                   static_cast<double>(r.wall_ns) / 1e6);
     }
-    if (runs.size() == 2 && runs[1].wall_ns > 0 && runs[0].wall_ns > 0) {
-      std::printf(" (%.2fx)", static_cast<double>(runs[1].wall_ns) /
-                                  static_cast<double>(runs[0].wall_ns));
+    // Speedup of each later backend relative to the first (the reference):
+    // >1 means faster.  Wall clock only; never part of the pass/fail oracle.
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      if (runs[0].wall_ns > 0 && runs[i].wall_ns > 0) {
+        std::printf(" (%s %.2fx)", backend_name(runs[i].backend),
+                    static_cast<double>(runs[0].wall_ns) /
+                        static_cast<double>(runs[i].wall_ns));
+      }
     }
     std::printf("\n");
 
