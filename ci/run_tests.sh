@@ -11,7 +11,12 @@
 # A non-gating bench-smoke leg (--bench-smoke) builds Release with the
 # fiber backend and runs sppsim-bench --smoke under BOTH conductor
 # backends: it fails only on simulated-time or counter-digest divergence
-# (docs/PERFORMANCE.md), never on wall-clock numbers.
+# (docs/PERFORMANCE.md), never on wall-clock numbers.  The bench set
+# includes the trace-memoization acceptance pairs (ppm/ppm_memo,
+# fem/fem_inner and friends); sppsim-bench itself cross-checks each
+# <name>_memo digest against its <name> base, so a memo-on run that
+# diverges from full execution fails this leg even before --check
+# compares against the committed bench/baselines.
 #
 # The sanitized leg also runs a kill-resume smoke (docs/RECOVERY.md):
 # nbody runs with durable on-disk checkpoints (--ckpt-dir), is SIGKILLed
@@ -41,7 +46,16 @@
 # shard count resumes bit-exact at another, and runs the PDES tests under
 # ThreadSanitizer so the shard queues' memory ordering is machine-checked.
 #
-# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only|--bench-smoke|--lint-only|--analyze-only|--pdes-smoke]
+# A gating --memo-smoke leg covers trace memoization (spp::memo,
+# docs/PERFORMANCE.md "Trace memoization"): the full tier-1 suite runs
+# with SPP_MEMO=verify under AddressSanitizer -- every Nth memo replay
+# re-executes its ops and asserts bit-exact counter deltas, so a learned
+# trace that drifts from real execution aborts the suite -- and then the
+# suite runs again with SPP_MEMO=on under the sharded PDES engine at 4
+# workers, the configuration where replay, fusion parks, and cross-shard
+# invalidation interact.
+#
+# Usage: ci/run_tests.sh [--plain-only|--sanitize-only|--tsan-only|--werror-only|--survive-only|--bench-smoke|--lint-only|--analyze-only|--pdes-smoke|--memo-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -257,6 +271,29 @@ if [[ "$MODE" == "--pdes-smoke" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS" --target test_pdes
   SPP_CONDUCTOR=pdes SPP_SHARDS=4 build-tsan/tests/test_pdes
+fi
+
+# Gating: trace memoization under its two hardest configurations.  Verify
+# mode re-executes every Nth replay and cross-checks counter deltas
+# bit-exactly (throwing memo::VerifyError on drift), so running the whole
+# suite under it turns every test into a replay-fidelity check; asan
+# additionally catches any stale-pointer use in the trace buffers.  The
+# second half runs the suite with plain memoization under the sharded
+# engine, exercising the fusion-park and cross-shard invalidation paths
+# the fiber backend never takes.
+if [[ "$MODE" == "--memo-smoke" ]]; then
+  echo "=== memo-smoke: tier-1 under SPP_MEMO=verify + asan ==="
+  cmake -B build-asan -S . \
+    -DSPP_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS"
+  SPP_MEMO=verify ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+  echo "=== memo-smoke: tier-1 under SPP_MEMO=on, pdes @ 4 shards ==="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  SPP_MEMO=on SPP_CONDUCTOR=pdes SPP_SHARDS=4 \
+    ctest --test-dir build --output-on-failure -j "$JOBS"
 fi
 
 # Not part of "all": wall-clock numbers are host-dependent, so this leg is

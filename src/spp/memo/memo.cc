@@ -1,0 +1,524 @@
+#include "spp/memo/memo.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spp::memo {
+
+namespace {
+
+/// Recording caps and promotion/retirement thresholds.  A region must be at
+/// least a quarter quiet ops to be worth replaying (holes replay through
+/// the full pipeline, so a hole-heavy memo still saves its quiet fraction
+/// -- PPM's ghost exchange is ~half remote reads and benefits); a slot
+/// whose key sequence keeps changing, or whose memo keeps diverging, is
+/// retired quickly so its recording overhead stops being paid.
+constexpr std::uint32_t kMaxOps = 1u << 17;
+constexpr unsigned kMinQuietOps = 4;
+constexpr unsigned kMaxPromoteFails = 3;
+constexpr unsigned kMaxReplayFails = 4;
+constexpr std::uint64_t kVerifyEvery = 4;
+
+/// Promotion economics: quiet ops must be at least 1/4 of the trace.
+bool quiet_enough(std::uint32_t quiet, std::uint32_t total) {
+  return quiet >= kMinQuietOps && quiet * 4 >= total;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Mode mode_from_env() {
+  const char* v = std::getenv("SPP_MEMO");
+  if (v == nullptr) return Mode::kOff;
+  if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) return Mode::kOn;
+  if (std::strcmp(v, "verify") == 0) return Mode::kVerify;
+  return Mode::kOff;
+}
+
+void record_op(ThreadState& ts, OpKind kind, std::uint64_t key1,
+               std::uint64_t bytes, sim::Time delta) {
+  if (!ts.rec_valid) return;
+  if (ts.rec_ops.size() >= kMaxOps) {
+    // Region too large to memoize; retire the slot at close so the
+    // recording overhead is not paid again every iteration.
+    ts.rec_valid = false;
+    ts.rec_overflow = true;
+    return;
+  }
+  TraceOp op;
+  op.key1 = key1;
+  op.key2 = op_key2(kind, bytes);
+  op.delta = delta;
+  op.kind = kind;
+  ts.rec_begin.push_back(static_cast<std::uint32_t>(ts.rec_touches.size()));
+  if (kind == OpKind::kRead || kind == OpKind::kWrite) {
+    const auto& touches = ts.scratch.touches;
+    op.lines = static_cast<std::uint32_t>(touches.size());
+    bool quiet = true;
+    for (const arch::MemoTouch& t : touches) quiet &= t.quiet;
+    op.hole = !quiet;
+    ts.rec_touches.insert(ts.rec_touches.end(), touches.begin(),
+                          touches.end());
+  }
+  ts.rec_ops.push_back(op);
+}
+
+Engine::Engine(arch::Machine& machine, Mode mode)
+    : machine_(machine),
+      mode_(mode),
+      states_(machine.topo().nodes),
+      registry_(machine.topo().num_cpus()),
+      scratch_owner_(machine.topo().num_cpus(), nullptr) {
+  machine_.set_memo_sink(this);
+}
+
+Engine::~Engine() {
+  for (unsigned cpu = 0; cpu < scratch_owner_.size(); ++cpu) {
+    if (scratch_owner_[cpu] != nullptr) {
+      machine_.set_memo_scratch(cpu, nullptr);
+    }
+  }
+  machine_.set_memo_sink(nullptr);
+}
+
+ThreadState& Engine::state_for(unsigned tid, unsigned node, unsigned cpu) {
+  auto& shard = states_[node];
+  auto it = shard.find(tid);
+  if (it == shard.end()) {
+    auto ts = std::make_unique<ThreadState>();
+    ts->engine = this;
+    ts->tid = tid;
+    ts->cpu = cpu;
+    it = shard.emplace(tid, std::move(ts)).first;
+  }
+  return *it->second;
+}
+
+void Engine::on_line_disturbed(unsigned cpu, arch::LineAddr line) {
+  auto& reg = registry_[cpu];
+  auto it = reg.find(line);
+  if (it == reg.end()) return;
+  std::vector<Memo*> memos = std::move(it->second);
+  reg.erase(it);
+  for (Memo* m : memos) {
+    if (!m->live) continue;
+    demote_line(*m, line);
+    machine_.apply_memo_delta(cpu, arch::MemoDelta{.memo_invalidations = 1});
+  }
+}
+
+void Engine::on_global_disturb() {
+  for (auto& shard : states_) {
+    for (auto& [tid, tsp] : shard) {
+      ThreadState& ts = *tsp;
+      if (ts.phase == Phase::kRecord) ts.rec_valid = false;
+      if (ts.phase == Phase::kReplay && ts.memo != nullptr) {
+        // Jump the cursor to the sentinel: the next op takes the slow path
+        // and the remaining region runs the full pipeline.  Everything
+        // fast-forwarded before this instant was legal when applied -- fold
+        // it into the sums now, and advance `walked` past the skipped tail
+        // so close never counts ops that were never fast-forwarded.
+        const auto sentinel =
+            static_cast<std::uint32_t>(ts.memo->ops.size() - 1);
+        if (ts.cur != nullptr) {
+          fold_sums(ts, static_cast<std::uint32_t>(ts.cur - ts.ops));
+          ts.cur = ts.ops + sentinel;
+        }
+        ts.idx = sentinel;
+        ts.walked = sentinel;
+      }
+      for (auto& [region, slot] : ts.slots) {
+        if (slot.memo != nullptr && slot.memo->live) {
+          slot.memo->live = false;
+          machine_.apply_memo_delta(
+              slot.memo->cpu, arch::MemoDelta{.memo_invalidations = 1});
+        }
+        if (slot.state == SlotState::kHot) slot.state = SlotState::kCold0;
+        slot.promote_fails = 0;
+      }
+    }
+  }
+  for (auto& reg : registry_) reg.clear();
+}
+
+void Engine::mark(ThreadState& ts, std::uint32_t region, unsigned cpu) {
+  close_region(ts);
+  open_region(ts, region, cpu);
+}
+
+void Engine::close_region(ThreadState& ts) {
+  if (!ts.region_open) return;
+  switch (ts.phase) {
+    case Phase::kRecord: {
+      detach_scratch(ts);
+      finish_recording(ts, ts.slots[ts.open_region]);
+      break;
+    }
+    case Phase::kReplay:
+      detach_scratch(ts);
+      finish_replay(ts);
+      break;
+    case Phase::kIdle:
+      break;
+  }
+  ts.phase = Phase::kIdle;
+  ts.memo = nullptr;
+  ts.ops = nullptr;
+  ts.cur = nullptr;
+  ts.region_open = false;
+}
+
+void Engine::open_region(ThreadState& ts, std::uint32_t region, unsigned cpu) {
+  ts.cpu = cpu;
+  ts.open_region = region;
+  ts.region_open = true;
+  ts.gate_parked = false;
+  ts.verify = false;
+  ts.cur = nullptr;
+  ts.walked = 0;
+  RegionSlot& slot = ts.slots[region];
+  if (slot.memo != nullptr &&
+      (!slot.memo->live || slot.memo->cpu != cpu)) {
+    // Killed by a disturb/retire, or the thread landed on a different CPU
+    // (a memo's line states live in one L1).  Safe to free now: no replay
+    // of it can be in flight once its owner is back at a mark.
+    unregister_memo(*slot.memo);
+    slot.memo.reset();
+    if (slot.state == SlotState::kHot) slot.state = SlotState::kCold0;
+  }
+  switch (slot.state) {
+    case SlotState::kHot: {
+      Memo& m = *slot.memo;
+      ts.phase = Phase::kReplay;
+      ts.memo = &m;
+      ts.ops = m.ops.data();
+      ts.idx = 0;
+      ts.verify =
+          mode_ == Mode::kVerify && (m.replays % kVerifyEvery == 0);
+      ++m.replays;
+      if (ts.verify) {
+        // Verify re-executes every op, so it needs the scratch to compare
+        // per-line outcomes; if another thread on this CPU holds it, this
+        // replay silently runs unverified (a later one will verify).
+        attach_scratch(ts);
+        if (scratch_owner_[cpu] != &ts) ts.verify = false;
+      }
+      // Arm the fast-path cursor (verify charges natively, op by op).
+      if (!ts.verify) ts.cur = ts.ops;
+      break;
+    }
+    case SlotState::kCold0:
+    case SlotState::kCold1: {
+      attach_scratch(ts);
+      if (scratch_owner_[cpu] == &ts) {
+        ts.phase = Phase::kRecord;
+        ts.rec_valid = true;
+        ts.rec_overflow = false;
+        ts.rec_ops.clear();
+        ts.rec_begin.clear();
+        ts.rec_touches.clear();
+      } else {
+        ts.phase = Phase::kIdle;
+      }
+      break;
+    }
+    case SlotState::kDead:
+      ts.phase = Phase::kIdle;
+      break;
+  }
+}
+
+void Engine::finish_recording(ThreadState& ts, RegionSlot& slot) {
+  if (ts.rec_overflow) {
+    slot.state = SlotState::kDead;
+    return;
+  }
+  if (!ts.rec_valid || ts.rec_ops.empty()) return;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const TraceOp& op : ts.rec_ops) {
+    h = fnv_mix(h, op.key1);
+    h = fnv_mix(h, op.key2);
+  }
+  if (slot.state == SlotState::kCold0) {
+    slot.key_hash = h;
+    slot.state = SlotState::kCold1;
+    return;
+  }
+  const bool hash_ok = h == slot.key_hash;
+  if (!hash_ok || !promote(ts, slot)) {
+    if (std::getenv("SPP_MEMO_DEBUG")) {
+      std::fprintf(stderr, "memo dbg: region %08x tid %u %s fail (ops=%zu fails=%u)\n",
+                   ts.open_region, ts.tid, hash_ok ? "promote" : "hash",
+                   ts.rec_ops.size(), slot.promote_fails + 1);
+    }
+    slot.key_hash = h;
+    if (++slot.promote_fails >= kMaxPromoteFails) {
+      slot.state = SlotState::kDead;
+    }
+  }
+}
+
+bool Engine::promote(ThreadState& ts, RegionSlot& slot) {
+  const auto total = static_cast<std::uint32_t>(ts.rec_ops.size());
+  std::uint32_t quiet = 0;
+  for (const TraceOp& op : ts.rec_ops) quiet += op.hole ? 0u : 1u;
+  if (!quiet_enough(quiet, total)) return false;
+
+  auto memo = std::make_unique<Memo>();
+  memo->ops = ts.rec_ops;
+  memo->cpu = ts.cpu;
+  memo->region = ts.open_region;
+  memo->quiet_ops = quiet;
+  memo->owner = &ts;
+
+  // Per-line bookkeeping over the recorded touches.
+  constexpr std::uint8_t kHoleTouched = 1;
+  constexpr std::uint8_t kNeedsMod = 2;
+  std::unordered_map<arch::LineAddr, std::uint8_t> line_flags;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const TraceOp& op = memo->ops[i];
+    if (op.kind != OpKind::kRead && op.kind != OpKind::kWrite) continue;
+    const std::uint32_t b = ts.rec_begin[i];
+    const std::uint32_t e =
+        i + 1 < total ? ts.rec_begin[i + 1]
+                      : static_cast<std::uint32_t>(ts.rec_touches.size());
+    for (std::uint32_t j = b; j < e; ++j) {
+      const arch::LineAddr line = ts.rec_touches[j].line;
+      std::uint8_t& f = line_flags[line];
+      if (op.hole) {
+        f |= kHoleTouched;
+      } else {
+        memo->line_index[line].push_back(i);
+        if (op.kind == OpKind::kWrite) f |= kNeedsMod;
+      }
+    }
+  }
+
+  // A line that holes touch AND quiet ops *write* can drift through
+  // protocol states mid-iteration: a hole refill installs Exclusive, and
+  // the "quiet" write would then silently upgrade it -- a state change
+  // replay must not skip -- so those quiet ops demote.  Quiet READS of
+  // hole-touched lines are safe: a present line's read charge is one hit
+  // cycle in every state, holes re-execute natively during replay (so
+  // their installs happen live), and every event that could make the line
+  // absent or the charge different (eviction, invalidation, downgrade)
+  // fires a synchronous disturb that demotes the ops first.  This matters
+  // for bulk row ops (PPM sweeps): one Shared boundary cell makes the row
+  // write a hole, but the row reads still fast-forward.  Also demoted:
+  // any line whose L1 state right now is not the stable state replay
+  // assumes -- present for reads, Modified for writes.  The demotion set
+  // is order-independent, so the unordered iteration is deterministic in
+  // effect.
+  std::vector<arch::LineAddr> drop;
+  for (const auto& [line, idxs] : memo->line_index) {
+    const std::uint8_t f = line_flags[line];
+    bool ok = (f & kHoleTouched) == 0 || (f & kNeedsMod) == 0;
+    if (ok) {
+      const arch::LineState st = machine_.l1(ts.cpu).state_of(line);
+      ok = (f & kNeedsMod) != 0 ? st == arch::LineState::kModified
+                                : st != arch::LineState::kInvalid;
+    }
+    if (!ok) drop.push_back(line);
+  }
+  for (const arch::LineAddr line : drop) demote_line(*memo, line);
+  if (!quiet_enough(memo->quiet_ops, total)) return false;
+
+  // Stamp every hole's key so the replay fast path rejects it with the one
+  // key compare it already performs (record-time holes; demote_line stamps
+  // later ones).
+  for (TraceOp& op : memo->ops) {
+    if (op.hole) op.key2 |= kHoleKeyBit;
+  }
+
+  TraceOp sentinel;
+  sentinel.key1 = kSentinelKey;
+  sentinel.key2 = kSentinelKey;
+  sentinel.hole = true;
+  memo->ops.push_back(sentinel);
+
+  register_memo(*memo);
+  slot.memo = std::move(memo);
+  slot.state = SlotState::kHot;
+  slot.promote_fails = 0;
+  return true;
+}
+
+void Engine::demote_line(Memo& memo, arch::LineAddr line) {
+  auto it = memo.line_index.find(line);
+  if (it == memo.line_index.end()) return;
+  // If the owner is mid-replay of this very memo, ops its cursor already
+  // fast-forwarded must keep their counters: fold each one into the running
+  // sums now, because every later fold skips holes.  (Synchronous: the
+  // disturb fires from inside the protocol event, before any further op.)
+  ThreadState* o = memo.owner;
+  const bool live_replay = o != nullptr && o->memo == &memo &&
+                           o->phase == Phase::kReplay && o->cur != nullptr;
+  const auto consumed =
+      live_replay ? static_cast<std::uint32_t>(o->cur - o->ops) : 0;
+  for (const std::uint32_t i : it->second) {
+    TraceOp& op = memo.ops[i];
+    if (op.hole) continue;
+    if (live_replay && i >= o->walked && i < consumed) {
+      const bool is_write = op.kind == OpKind::kWrite;
+      (is_write ? o->sum_stores : o->sum_loads) += op.lines;
+      o->sum_hits += op.lines;
+      o->sum_saved += op.delta;
+    }
+    op.hole = true;
+    op.key2 |= kHoleKeyBit;
+    --memo.quiet_ops;
+  }
+  memo.line_index.erase(it);
+}
+
+void Engine::register_memo(Memo& memo) {
+  auto& reg = registry_[memo.cpu];
+  for (const auto& [line, idxs] : memo.line_index) {
+    reg[line].push_back(&memo);
+  }
+}
+
+void Engine::unregister_memo(Memo& memo) {
+  auto& reg = registry_[memo.cpu];
+  for (const auto& [line, idxs] : memo.line_index) {
+    auto it = reg.find(line);
+    if (it == reg.end()) continue;
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), &memo), v.end());
+    if (v.empty()) reg.erase(it);
+  }
+}
+
+void Engine::retire(ThreadState& ts, Memo& memo, SlotState next_state) {
+  unregister_memo(memo);
+  memo.live = false;
+  RegionSlot& slot = ts.slots[memo.region];
+  slot.state = next_state;
+  // The allocation is freed at the next open of this region: ts.ops may
+  // point into it until the region closes.
+}
+
+void Engine::fold_sums(ThreadState& ts, std::uint32_t upto) {
+  for (std::uint32_t i = ts.walked; i < upto; ++i) {
+    const TraceOp& op = ts.ops[i];
+    if (op.hole) continue;  // charged natively (or folded at demotion).
+    switch (op.kind) {
+      case OpKind::kRead:
+        ts.sum_loads += op.lines;
+        ts.sum_hits += op.lines;
+        break;
+      case OpKind::kWrite:
+        ts.sum_stores += op.lines;
+        ts.sum_hits += op.lines;
+        break;
+      case OpKind::kFlops:
+        ts.sum_flops += std::bit_cast<double>(op.key1);
+        ts.sum_compute += op.delta;
+        break;
+      case OpKind::kOps:
+        ts.sum_compute += op.delta;
+        break;
+    }
+    ts.sum_saved += op.delta;
+  }
+  ts.walked = upto;
+}
+
+arch::MemoDelta Engine::drain_sums(ThreadState& ts) {
+  arch::MemoDelta d;
+  d.loads = ts.sum_loads;
+  d.stores = ts.sum_stores;
+  d.l1_hits = ts.sum_hits;
+  d.compute = ts.sum_compute;
+  d.flops = ts.sum_flops;
+  d.memo_cycles_saved = ts.sum_saved;
+  ts.sum_loads = ts.sum_stores = ts.sum_hits = 0;
+  ts.sum_compute = ts.sum_saved = 0;
+  ts.sum_flops = 0;
+  return d;
+}
+
+void Engine::finish_replay(ThreadState& ts) {
+  Memo& m = *ts.memo;
+  const auto sentinel = static_cast<std::uint32_t>(m.ops.size() - 1);
+  if (ts.cur != nullptr) {
+    ts.idx = static_cast<std::uint32_t>(ts.cur - ts.ops);
+    ts.cur = nullptr;
+    fold_sums(ts, ts.idx);
+  }
+  arch::MemoDelta d = drain_sums(ts);
+  if (ts.idx == sentinel && m.live && !ts.gate_parked) {
+    d.memo_hits = 1;
+    m.replay_fails = 0;
+    if (ts.verify) audit_lines(m);
+  } else {
+    // The iteration ended short of the trace (or the memo died mid-replay).
+    // The sums applied are exactly the ops that were requested, so this is
+    // only a policy event, never a correctness one.
+    d.memo_misses = 1;
+    if (m.live && ++m.replay_fails >= kMaxReplayFails) {
+      retire(ts, m, SlotState::kDead);
+    }
+  }
+  machine_.apply_memo_delta(ts.cpu, d);
+}
+
+void Engine::diverge(ThreadState& ts, bool kill_memo) {
+  Memo& m = *ts.memo;
+  if (ts.cur != nullptr) {
+    ts.idx = static_cast<std::uint32_t>(ts.cur - ts.ops);
+    ts.cur = nullptr;
+    fold_sums(ts, ts.idx);
+  }
+  arch::MemoDelta d = drain_sums(ts);
+  d.memo_misses = 1;
+  if (kill_memo && m.live) {
+    d.memo_invalidations = 1;
+    retire(ts, m, SlotState::kDead);
+  } else if (m.live && ++m.replay_fails >= kMaxReplayFails) {
+    retire(ts, m, SlotState::kDead);
+  }
+  machine_.apply_memo_delta(ts.cpu, d);
+  detach_scratch(ts);
+  ts.phase = Phase::kIdle;
+  ts.memo = nullptr;
+  ts.ops = nullptr;
+  // The region stays open; its remaining ops run the full pipeline.
+}
+
+void Engine::audit_lines(const Memo& memo) const {
+  for (const auto& [line, idxs] : memo.line_index) {
+    if (!machine_.check_line_invariants_line(line)) {
+      throw VerifyError(
+          "spp::memo verify: protocol invariants violated for a memoized "
+          "line at region close");
+    }
+  }
+}
+
+void Engine::attach_scratch(ThreadState& ts) {
+  if (scratch_owner_[ts.cpu] == nullptr) {
+    scratch_owner_[ts.cpu] = &ts;
+    ts.scratch.clear();
+    machine_.set_memo_scratch(ts.cpu, &ts.scratch);
+  }
+}
+
+void Engine::detach_scratch(ThreadState& ts) {
+  if (scratch_owner_[ts.cpu] == &ts) {
+    scratch_owner_[ts.cpu] = nullptr;
+    machine_.set_memo_scratch(ts.cpu, nullptr);
+  }
+}
+
+}  // namespace spp::memo

@@ -1,0 +1,291 @@
+// Trace-memoized fast-forwarding of coherence-quiet phases (ROADMAP item 5).
+//
+// Lambdachine-style record-then-replay applied to *simulation time*: a
+// per-simulated-thread recorder captures the (address, op-kind, size)
+// sequence between back-edge marks the apps place in their inner loops
+// (rt::Runtime::memo_mark).  When the same region repeats with an identical
+// key sequence and most of its charged accesses are "quiet" -- pure L1 hits
+// with zero protocol transitions -- the trace is promoted to a Memo: the
+// recorded per-op sim-clock advances plus the exact PerfCounters deltas the
+// full pipeline produced.  Later iterations replay the memo op by op,
+// applying each recorded advance instead of re-walking translation,
+// directory, and resource machinery; ops that were not quiet ("holes") keep
+// executing through the full pipeline inside the replay, so contention,
+// gating, and protocol transitions are always simulated live.
+//
+// Soundness rests on two pillars (docs/PERFORMANCE.md "Trace memoization"):
+//  1. A quiet op's charge (one l1_hit cycle per line) is a pure function of
+//     its L1 state, which only the protocol can change -- and every protocol
+//     transition that invalidates or downgrades a CPU's copy reports through
+//     arch::MemoSink::on_line_disturbed *synchronously*, demoting the
+//     affected ops to holes before any replay can fast-forward past them.
+//  2. Replay preserves the conductor's deterministic schedule exactly: every
+//     fast-forwarded op performs the same quantum-yield check the full path
+//     would, and every counter it applies is the recorded value the full
+//     path produced.  Digests are therefore bit-identical with memoization
+//     on, off, or in verify mode, on every backend.
+//
+// SPP_MEMO=verify additionally re-executes every kVerifyEvery-th replay
+// through the full pipeline, asserting per-op bit-exact deltas and auditing
+// the protocol invariants of every memoized line at region close (the
+// shadow CoherenceOracle itself cannot attach here: an attached observer is
+// by definition a global disturb, so verify mode uses the machine's own
+// invariant checker instead -- see docs/CHECKER.md).
+//
+// Layering: spp::memo sits between arch and rt.  It never mutates the
+// Machine except through Machine::apply_memo_delta and the scratch/sink
+// attach points; the spp-lint check `memo-no-uncharged-mutation` enforces
+// this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "spp/arch/machine.h"
+#include "spp/sim/time.h"
+
+namespace spp::memo {
+
+enum class Mode : std::uint8_t { kOff = 0, kOn = 1, kVerify = 2 };
+
+/// Parses SPP_MEMO (off|on|verify; unset and unknown mean off).
+Mode mode_from_env();
+
+/// A verify-mode replay observed a delta that differed from the full
+/// pipeline's, or a memoized line violating protocol invariants.  Always a
+/// simulator bug, never a workload condition.
+struct VerifyError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class OpKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kFlops = 2,
+  kOps = 3,
+};
+
+/// Second key word: op kind in the low 2 bits, byte count (or 0 for work
+/// ops) above.  Combined with key1 (the VAddr, or the bit pattern of the
+/// work amount) this identifies an op exactly.
+inline std::uint64_t op_key2(OpKind kind, std::uint64_t bytes) {
+  return (bytes << 2) | static_cast<std::uint64_t>(kind);
+}
+
+/// Set in a promoted op's key2 when the op is a hole.  A hole's key then
+/// never equals the key the fast path computes, so one 64-bit compare
+/// covers both "same op" and "still quiet" -- the slow path masks the bit
+/// off and re-checks.  Safe because a real key2 needs a 2^61-byte access
+/// to reach bit 63.
+constexpr std::uint64_t kHoleKeyBit = std::uint64_t{1} << 63;
+
+/// One recorded charged operation.  `delta` is the exact sim-clock advance
+/// the full pipeline charged; for quiet ops `lines` is the number of L1
+/// lines touched (each charged loads/stores + l1_hits by exactly one).
+/// A `hole` op is replayed by executing it through the full pipeline.
+struct TraceOp {
+  std::uint64_t key1 = 0;
+  std::uint64_t key2 = 0;
+  sim::Time delta = 0;
+  std::uint32_t lines = 0;
+  OpKind kind = OpKind::kRead;
+  bool hole = false;
+};
+
+/// key1 of the sentinel op terminating every promoted trace.  No real op
+/// matches it (VAddrs and finite-double bit patterns never equal ~0), so
+/// the replay fast path needs no bounds check.
+constexpr std::uint64_t kSentinelKey = ~std::uint64_t{0};
+
+struct ThreadState;
+
+/// A promoted region trace plus the line->op index used for demotion.
+struct Memo {
+  std::vector<TraceOp> ops;  ///< terminated by the sentinel op.
+  /// For every line some non-hole op touches: the indices of those ops.
+  /// on_line_disturbed demotes them and erases the entry.  Ordered map: it
+  /// is iterated on paths reachable from digest-bearing state (promotion,
+  /// registry upkeep, verify audits) and hash order varies across hosts.
+  std::map<arch::LineAddr, std::vector<std::uint32_t>> line_index;
+  unsigned cpu = 0;
+  std::uint32_t region = 0;
+  bool live = true;
+  std::uint32_t quiet_ops = 0;
+  unsigned replay_fails = 0;
+  std::uint64_t replays = 0;
+  /// The thread whose slot owns this memo (stable for the engine's life).
+  /// Demotion consults it: an op demoted after the owner's in-flight replay
+  /// already fast-forwarded past it must still be counted at region close.
+  ThreadState* owner = nullptr;
+};
+
+enum class Phase : std::uint8_t { kIdle = 0, kRecord = 1, kReplay = 2 };
+
+enum class SlotState : std::uint8_t {
+  kCold0 = 0,  ///< nothing captured yet: record and keep the key hash.
+  kCold1 = 1,  ///< one capture done: record again, promote on a stable hash.
+  kHot = 2,    ///< memo promoted: replay.
+  kDead = 3,   ///< gave up (unstable keys or repeated divergence).
+};
+
+/// Per-(thread, region-id) memoization slot.
+struct RegionSlot {
+  SlotState state = SlotState::kCold0;
+  std::uint64_t key_hash = 0;
+  unsigned promote_fails = 0;
+  std::unique_ptr<Memo> memo;
+};
+
+class Engine;
+
+/// Per-simulated-thread memoization state.  rt::SThread carries a pointer
+/// to this (null whenever memoization is off or disabled), and the
+/// rt::Runtime op fast paths read/advance the replay cursor directly; all
+/// slower transitions go through the Engine.
+struct ThreadState {
+  // --- replay cursor (hot; read by the rt op fast path) --------------------
+  /// Non-null exactly while a non-verify replay is in flight, pointing at
+  /// the next op to fast-forward.  It is the *authoritative* cursor: the op
+  /// fast path advances only this, and every slow-path entry re-derives
+  /// `idx` as `cur - ops` before using it.  Holes need no separate test --
+  /// their key2 carries kHoleKeyBit, so the single key compare rejects
+  /// them.  The sentinel terminates every trace, so no bounds check either.
+  const TraceOp* cur = nullptr;
+  Phase phase = Phase::kIdle;
+  bool verify = false;       ///< this replay re-executes and cross-checks.
+  bool gate_parked = false;  ///< a PDES fusion park happened mid-region.
+  const TraceOp* ops = nullptr;
+  std::uint32_t idx = 0;
+  Memo* memo = nullptr;
+
+  // --- replay running sums (applied in bulk at region close) ---------------
+  // The fast path does NOT maintain these per op.  Instead ops[walked, idx)
+  // is folded in at the next slow-path boundary (divergence, global
+  // disturb, region close): the trace itself already stores every op's
+  // counters, so re-deriving the sums costs one sequential walk instead of
+  // four read-modify-writes per fast-forwarded op.  An op demoted to a hole
+  // after the cursor passed it is folded in immediately by demote_line
+  // (Memo::owner), since later walks skip holes.
+  std::uint32_t walked = 0;  ///< ops below this are already in the sums.
+  std::uint64_t sum_loads = 0;
+  std::uint64_t sum_stores = 0;
+  std::uint64_t sum_hits = 0;
+  sim::Time sum_compute = 0;
+  sim::Time sum_saved = 0;
+  double sum_flops = 0;
+
+  // --- recording -----------------------------------------------------------
+  arch::MemoScratch scratch;  ///< attached to the machine while recording.
+  bool rec_valid = false;
+  bool rec_overflow = false;  ///< region exceeded the op cap: retire slot.
+  std::vector<TraceOp> rec_ops;
+  std::vector<std::uint32_t> rec_begin;  ///< per-op offset into rec_touches.
+  std::vector<arch::MemoTouch> rec_touches;
+
+  // --- identity ------------------------------------------------------------
+  Engine* engine = nullptr;
+  unsigned tid = ~0u;
+  unsigned cpu = ~0u;
+  std::uint32_t open_region = 0;
+  bool region_open = false;
+  /// Ordered: iterated by Engine::on_global_disturb (digest-reachable).
+  std::map<std::uint32_t, RegionSlot> slots;
+};
+
+/// Appends one executed op to the recording (no-op once the recording has
+/// been abandoned).  For mem ops the machine scratch holds the per-line
+/// touches of exactly this op (the caller cleared it just before executing).
+void record_op(ThreadState& ts, OpKind kind, std::uint64_t key1,
+               std::uint64_t bytes, sim::Time delta);
+
+/// Called by the PDES conductor when this thread parks at a fusion
+/// rendezvous mid-region: the region is by definition not coherence-quiet,
+/// so an in-flight recording is abandoned and an in-flight replay is
+/// flagged for divergence after the parked op completes.
+inline void on_gate_park(ThreadState& ts) {
+  if (ts.phase == Phase::kRecord) ts.rec_valid = false;
+  if (ts.phase == Phase::kReplay) ts.gate_parked = true;
+}
+
+/// The memoization engine: owns all per-thread state and memos, receives
+/// quiescence events from the machine, and performs promotion, demotion,
+/// replay completion, and verify-mode audits.  One per rt::Runtime.
+///
+/// Host-concurrency contract (PDES): every mutation is performed either by
+/// the shard worker that owns the affected CPU/thread, or at a serialized
+/// point (fusion rendezvous, between runs) -- the same sharding argument
+/// the machine's per-node directory relies on.  No locks needed.
+class Engine final : public arch::MemoSink {
+ public:
+  Engine(arch::Machine& machine, Mode mode);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Mode mode() const { return mode_; }
+  arch::Machine& machine() { return machine_; }
+
+  // --- arch::MemoSink ------------------------------------------------------
+  void on_line_disturbed(unsigned cpu, arch::LineAddr line) override;
+  void on_global_disturb() override;
+
+  // --- rt integration ------------------------------------------------------
+  /// The persistent state for simulated thread `tid` (created on first use;
+  /// `node` shards the lookup so PDES phase workers never share a map).
+  ThreadState& state_for(unsigned tid, unsigned node, unsigned cpu);
+
+  /// Back-edge mark: closes the open region (promoting / completing /
+  /// abandoning as appropriate) and opens region `region` for recording or
+  /// replay.
+  void mark(ThreadState& ts, std::uint32_t region, unsigned cpu);
+
+  /// Closes the open region without opening a new one (thread teardown,
+  /// memoization becoming disabled mid-run).
+  void close_region(ThreadState& ts);
+
+  /// Abandons an in-flight replay after the current op: applies the sums
+  /// accumulated so far (they are exact) and counts a miss.  Called by the
+  /// rt slow path on key mismatch or after a gate-parked hole.  When
+  /// `kill_memo` the memo is also retired (shard-fuse invalidation).
+  void diverge(ThreadState& ts, bool kill_memo);
+
+  /// Verify-mode close audit: protocol invariants must hold for every line
+  /// the memo still fast-forwards.  Throws VerifyError on violation.
+  void audit_lines(const Memo& memo) const;
+
+ private:
+  void open_region(ThreadState& ts, std::uint32_t region, unsigned cpu);
+  void finish_recording(ThreadState& ts, RegionSlot& slot);
+  void finish_replay(ThreadState& ts);
+  bool promote(ThreadState& ts, RegionSlot& slot);
+  void demote_line(Memo& memo, arch::LineAddr line);
+  void register_memo(Memo& memo);
+  void unregister_memo(Memo& memo);
+  void retire(ThreadState& ts, Memo& memo, SlotState next_state);
+  void attach_scratch(ThreadState& ts);
+  void detach_scratch(ThreadState& ts);
+  arch::MemoDelta drain_sums(ThreadState& ts);
+  /// Folds the counters of every non-hole op in ops[ts.walked, upto) into
+  /// the running sums and advances `walked` (see ThreadState::walked).
+  static void fold_sums(ThreadState& ts, std::uint32_t upto);
+
+  arch::Machine& machine_;
+  Mode mode_;
+  /// Thread states sharded by hypernode (PDES workers touch only their own
+  /// shard's map).  Ordered: on_global_disturb walks every shard, and that
+  /// path is digest-reachable; node-local pointers stay stable regardless.
+  std::vector<std::map<unsigned, std::unique_ptr<ThreadState>>> states_;
+  /// Per-CPU line registry: which live memos fast-forward ops on a line.
+  std::vector<std::unordered_map<arch::LineAddr, std::vector<Memo*>>>
+      registry_;
+  /// Per-CPU scratch ownership (two threads placed on one CPU cannot both
+  /// record; the second runs unmemoized until the slot frees).
+  std::vector<ThreadState*> scratch_owner_;
+};
+
+}  // namespace spp::memo

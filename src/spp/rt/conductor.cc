@@ -9,6 +9,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "spp/memo/memo.h"
 #include "spp/pdes/window.h"
 #include "spp/rt/sharded.h"
 #include "spp/sim/log.h"
@@ -19,9 +20,11 @@
 
 namespace spp::rt {
 
-namespace {
-thread_local SThread* g_current = nullptr;
+namespace detail {
+thread_local SThread* tls_current = nullptr;
+}  // namespace detail
 
+namespace {
 /// The host context the current OS thread resumes fibers from: the
 /// conductor's main_ctx_ on the coordinator (sequential loop, fusion,
 /// teardown) or a worker's own slot during phases (rt/sharded.cc).  A fiber
@@ -160,7 +163,7 @@ void SThread::os_body() {
     }
     may_run_ = false;
   }
-  g_current = this;
+  detail::tls_current = this;
   try {
     fn_();
   } catch (const ShutdownSignal&) {
@@ -170,7 +173,7 @@ void SThread::os_body() {
     // exception so the conductor can rethrow it to Conductor::run's caller.
     error_ = std::current_exception();
   }
-  g_current = nullptr;
+  detail::tls_current = nullptr;
   // Final hand-back: mark done; conductor joins us later.
   HostLock lk(mu_);
   state_ = State::kDone;
@@ -208,9 +211,9 @@ void SThread::run_once() {
   if (conductor_->use_fibers_) {
     state_ = State::kRunning;
     started_ = true;
-    g_current = this;
+    detail::tls_current = this;
     Fiber::switch_to(*g_host_ctx, fiber_);
-    g_current = nullptr;
+    detail::tls_current = nullptr;
     return;
   }
   HostLock lk(mu_);
@@ -308,9 +311,9 @@ void Conductor::shutdown_all() {
         if (t->started_) {
           // Resume the fiber so hand_back throws ShutdownSignal and the
           // stack unwinds; fiber_body marks Done and exits back here.
-          g_current = t.get();
+          detail::tls_current = t.get();
           Fiber::switch_to(main_ctx_, t->fiber_);
-          g_current = nullptr;
+          detail::tls_current = nullptr;
         } else {
           // Never entered: no frames to unwind, just retire it.
           t->state_ = SThread::State::kDone;
@@ -326,13 +329,6 @@ void Conductor::shutdown_all() {
     }
   }
 }
-
-SThread& Conductor::self() {
-  assert(g_current != nullptr && "not inside a simulated thread");
-  return *g_current;
-}
-
-bool Conductor::in_sthread() { return g_current != nullptr; }
 
 void Conductor::run(std::function<void()> main_fn, unsigned cpu,
                     sim::Time start) {
@@ -618,8 +614,8 @@ void Conductor::propagate_thread_error(std::exception_ptr err) {
 }
 
 void Conductor::defer_cross() {
-  if (!in_phase_ || g_current == nullptr) return;
-  SThread& me = *g_current;
+  if (!in_phase_ || detail::tls_current == nullptr) return;
+  SThread& me = *detail::tls_current;
   if (me.fusing_) return;  // already serialized at the rendezvous.
   const unsigned n = me.node_;
   pdes::SpscQueue<Parked>& q = parked_[n];
@@ -629,6 +625,10 @@ void Conductor::defer_cross() {
     q.reserve(q.capacity() * 2 + 8);
   }
   q.push({pdes::EventKey{me.clock_, n, park_seq_[n]++}, &me});
+  // A fusion park means this region is not coherence-quiet: abandon any
+  // in-flight memo recording and flag an in-flight replay for divergence
+  // (the runtime retires the memo once the parked op completes).
+  if (me.memo_state_ != nullptr) memo::on_gate_park(*me.memo_state_);
   me.reason_ = BlockReason{BlockReason::Kind::kFusion, nullptr,
                            "cross-shard gate", {}};
   me.hand_back(SThread::State::kBlocked);

@@ -57,6 +57,7 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -76,10 +77,22 @@
 #include "spp/rt/host_mutex.h"
 #include "spp/sim/time.h"
 
+namespace spp::memo {
+struct ThreadState;
+}
+
 namespace spp::rt {
 
 class Conductor;
 class ShardedConductor;
+class SThread;
+
+namespace detail {
+/// The simulated thread the calling OS thread is currently executing
+/// (Conductor::self()).  Exposed here only so self() inlines into the
+/// charged-op fast paths; everything else must go through Conductor.
+extern thread_local SThread* tls_current;
+}  // namespace detail
 
 /// Which mechanism carries simulated-thread stacks (and, for kPdes, whether
 /// phases fan out over OS worker threads).  Scheduling -- and thus every
@@ -166,6 +179,12 @@ class SThread {
 
   Conductor& conductor() { return *conductor_; }
 
+  /// Trace-memoization state (spp::memo), attached by rt::Runtime while
+  /// memoization is enabled for this thread; null otherwise, so the charged
+  /// op fast paths pay one pointer test.
+  memo::ThreadState* memo_state() { return memo_state_; }
+  void set_memo_state(memo::ThreadState* s) { memo_state_ = s; }
+
  private:
   friend class Conductor;
   friend class FusionScope;
@@ -190,6 +209,7 @@ class SThread {
   State state_ = State::kReady;
   BlockReason reason_;  ///< wait-for edge while Blocked.
   std::function<void()> fn_;
+  memo::ThreadState* memo_state_ = nullptr;  ///< set by rt::Runtime.
 
   // PDES engine state.  Both fields are touched only by the thread itself
   // or by whoever is about to resume it, never concurrently.
@@ -261,9 +281,14 @@ class Conductor : public arch::CrossGate {
            sim::Time start = 0);
 
   /// The currently running simulated thread (valid only while inside one).
-  static SThread& self();
+  /// Inline (a single thread-local load) because every charged operation --
+  /// including the memo replay fast path -- starts here.
+  static SThread& self() {
+    assert(detail::tls_current != nullptr && "not inside a simulated thread");
+    return *detail::tls_current;
+  }
   /// True if called from inside a simulated thread.
-  static bool in_sthread();
+  static bool in_sthread() { return detail::tls_current != nullptr; }
 
   // --- called from inside simulated threads ---------------------------------
   /// Creates a new ready thread.  Returns a stable pointer (owned here).
@@ -285,7 +310,13 @@ class Conductor : public arch::CrossGate {
   /// concurrent threads interleave at a few-microsecond granularity without
   /// a kernel round trip per memory access.
   void quantum_yield(sim::Time quantum = 400 * sim::kNanosecond) {
-    SThread& me = self();
+    quantum_yield_at(self(), quantum);
+  }
+  /// Same, for callers that already hold the running thread (the memo replay
+  /// fast path performs this exact check per fast-forwarded op, so replay
+  /// preserves the full pipeline's deterministic schedule bit-for-bit).
+  void quantum_yield_at(SThread& me,
+                        sim::Time quantum = 400 * sim::kNanosecond) {
     if (me.clock_ - me.last_yield_ >= quantum) {
       yield(4 * sim::kMicrosecond);
     }

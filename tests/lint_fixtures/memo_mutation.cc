@@ -1,0 +1,62 @@
+// Seeded violations for the memo-no-uncharged-mutation check: code inside
+// src/spp/memo/ reaching arch::Machine through anything but the sanctioned
+// bulk-apply surface.  A memo replay's only machine-visible effect must be
+// the recorded PerfCounters delta applied via Machine::apply_memo_delta;
+// any other mutator reachable from the memo engine could change coherence
+// state without charging it to the trace, breaking the digest-equivalence
+// guarantee memoization rests on (docs/PERFORMANCE.md "Trace memoization").
+// spp-lint-fixture: as-path src/spp/memo/bad_memo.cc
+// spp-lint-fixture: expect memo-no-uncharged-mutation
+
+#include <cstdint>
+
+namespace spp {
+
+struct Topology {
+  unsigned nodes = 1;
+};
+
+struct MemoDelta {
+  std::uint64_t memo_hits = 0;
+};
+
+struct Machine {
+  const Topology& topo() const;
+  std::uint64_t access(std::uint64_t va);
+  std::uint64_t access_block(std::uint64_t va, std::uint64_t n);
+  void power_cycle(unsigned node) { (void)node; }
+  void reset_stats() {}
+  void apply_memo_delta(unsigned cpu, const MemoDelta& d);
+};
+
+class Engine {
+ public:
+  explicit Engine(Machine& machine) : machine_(machine) {}
+
+  void bad_sites() {
+    // flagged: replaying through the charged access path re-runs the
+    // protocol instead of bulk-applying the recorded delta -- the whole
+    // point of a memo is that this does NOT happen per-op.
+    machine_.access(0x40);
+    // flagged: a block access from the memo engine mutates cache and
+    // directory state the trace never recorded.
+    machine_.access_block(0x80, 64);
+    // flagged: recovery controls are the runtime's business; the memo
+    // engine only *observes* quiescence-ending events via its hooks.
+    machine_.power_cycle(0);
+    // flagged: zeroing counters from the engine would desynchronize the
+    // digest from a memo-off run.
+    machine_.reset_stats();
+  }
+
+  void ok_sites(unsigned cpu) {
+    // Sanctioned: the bulk-apply surface and const topology queries.
+    machine_.apply_memo_delta(cpu, MemoDelta{.memo_hits = 1});
+    (void)machine_.topo();
+  }
+
+ private:
+  Machine& machine_;
+};
+
+}  // namespace spp

@@ -1,0 +1,393 @@
+// Tests for trace memoization (spp::memo; docs/PERFORMANCE.md "Trace
+// memoization"):
+//
+//   * replay-vs-full equality: a memo-on run of the synthetic inner loop
+//     and of each real app reaches the exact PerfCounters digest and
+//     simulated clock of a memo-off run, under both conductor backends;
+//   * the invalidation matrix: every event that ends coherence quiescence
+//     -- fault-hook arming, checker attach, a directory steal by another
+//     CPU, a PDES fusion park mid-region, power_cycle -- drops live memos
+//     (memo_invalidations advances) without ever moving the digest;
+//   * verify mode re-executes replays and agrees bit-exactly;
+//   * a durable run that stops at a memo-region boundary resumes in a
+//     fresh Runtime (the --resume situation) to the uninterrupted digest
+//     with memoization on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "spp/apps/fem/femgas.h"
+#include "spp/apps/nbody/nbody.h"
+#include "spp/apps/ppm/ppm.h"
+#include "spp/arch/perf.h"
+#include "spp/arch/topology.h"
+#include "spp/ckpt/durable.h"
+#include "spp/memo/memo.h"
+#include "spp/rt/conductor.h"
+#include "spp/rt/garray.h"
+#include "spp/rt/observer.h"
+#include "spp/rt/runtime.h"
+
+namespace spp {
+namespace {
+
+using arch::Topology;
+using rt::ConductorBackend;
+using rt::Placement;
+
+struct RunStats {
+  std::uint64_t digest = 0;
+  sim::Time elapsed = 0;
+  arch::CpuCounters totals;
+};
+
+RunStats seal(rt::Runtime& rt) {
+  return {rt.machine().perf().digest(rt.elapsed()), rt.elapsed(),
+          rt.machine().perf().total()};
+}
+
+/// The canonical coherence-quiet workload: `steps` marked iterations, each
+/// re-reading and re-writing the same per-thread rows.  After the learning
+/// passes every iteration is an L1-hit-only repeat, so the memo engine
+/// promotes it and fast-forwards the rest.
+void quiet_loop(rt::Runtime& rt, rt::GlobalArray<double>& a, unsigned tid,
+                unsigned steps, std::uint32_t region = 1) {
+  const std::size_t base = tid * 256;
+  for (unsigned s = 0; s < steps; ++s) {
+    rt.memo_mark(region);
+    for (std::size_t j = 0; j < 4; ++j) {
+      rt.read(a.vaddr(base + j * 64), 64 * sizeof(double));
+      rt.write(a.vaddr(base + j * 64), 64 * sizeof(double));
+    }
+    rt.work_flops(512.0);
+    rt.memo_close();
+  }
+}
+
+RunStats quiet_run(memo::Mode mode, unsigned steps = 24,
+                   ConductorBackend be = ConductorBackend::kFibers) {
+  rt::Runtime rt(Topology{.nodes = 1}, arch::CostModel{}, be);
+  rt.set_memo_mode(mode);
+  rt::GlobalArray<double> a(rt, 1024, arch::MemClass::kFarShared, "memo.t");
+  rt.run([&] {
+    rt.parallel(2, Placement::kHighLocality,
+                [&](unsigned tid, unsigned) { quiet_loop(rt, a, tid, steps); });
+  });
+  return seal(rt);
+}
+
+// --- replay-vs-full equality ------------------------------------------------
+
+TEST(Memo, LearnsReplaysAndMatchesFullExecution) {
+  const RunStats off = quiet_run(memo::Mode::kOff);
+  const RunStats on = quiet_run(memo::Mode::kOn);
+  EXPECT_EQ(on.digest, off.digest)
+      << "memo-on must be observationally identical to memo-off";
+  EXPECT_EQ(on.elapsed, off.elapsed);
+  EXPECT_EQ(off.totals.memo_hits, 0u);
+  EXPECT_GT(on.totals.memo_hits, 0u) << "the quiet loop must promote";
+  EXPECT_GT(on.totals.memo_cycles_saved, 0) << "replays must fast-forward";
+}
+
+TEST(Memo, VerifyModeReexecutesAndAgrees) {
+  const RunStats off = quiet_run(memo::Mode::kOff);
+  const RunStats ver = quiet_run(memo::Mode::kVerify);
+  EXPECT_EQ(ver.digest, off.digest);
+  EXPECT_EQ(ver.elapsed, off.elapsed);
+  // Verify mode still replays (every Nth replay re-executes and
+  // cross-checks); a VerifyError would have thrown out of quiet_run.
+  EXPECT_GT(ver.totals.memo_hits, 0u);
+}
+
+TEST(Memo, ReplayDigestMatchesFullUnderPdesBackend) {
+  const RunStats off = quiet_run(memo::Mode::kOff, 24, ConductorBackend::kPdes);
+  const RunStats on = quiet_run(memo::Mode::kOn, 24, ConductorBackend::kPdes);
+  const RunStats fib = quiet_run(memo::Mode::kOn);
+  EXPECT_EQ(on.digest, off.digest);
+  EXPECT_EQ(on.digest, fib.digest) << "backend must not leak into the digest";
+  EXPECT_GT(on.totals.memo_hits, 0u);
+}
+
+// --- the invalidation matrix ------------------------------------------------
+
+class NullFaultHook final : public rt::FaultHook {
+ public:
+  void poll(sim::Time) override {}
+  bool cpu_failed(unsigned) const override { return false; }
+};
+
+class NullObserver final : public rt::SyncObserver {
+ public:
+  void on_fork(unsigned, unsigned) override {}
+  void on_join(unsigned, unsigned) override {}
+  void on_acquire(const void*, unsigned) override {}
+  void on_release(const void*, unsigned) override {}
+  void on_send(std::uint64_t, unsigned) override {}
+  void on_recv(std::uint64_t, unsigned) override {}
+  void on_data_access(unsigned, unsigned, arch::VAddr, std::uint64_t,
+                      bool) override {}
+};
+
+/// Runs the quiet loop until memos are live, applies `disturb` (between
+/// runs: hook installs must happen outside run()), runs again, and returns
+/// the stats.  The caller asserts on memo_invalidations.
+template <typename Disturb>
+RunStats disturbed_run(memo::Mode mode, Disturb&& disturb) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  rt.set_memo_mode(mode);
+  rt::GlobalArray<double> a(rt, 1024, arch::MemClass::kFarShared, "memo.d");
+  rt.run([&] {
+    rt.parallel(1, Placement::kHighLocality,
+                [&](unsigned tid, unsigned) { quiet_loop(rt, a, tid, 16); });
+  });
+  disturb(rt);
+  rt.run([&] {
+    rt.parallel(1, Placement::kHighLocality,
+                [&](unsigned tid, unsigned) { quiet_loop(rt, a, tid, 16); });
+  });
+  return seal(rt);
+}
+
+TEST(MemoInvalidation, ArmingAFaultHookDropsLiveMemos) {
+  NullFaultHook hook;
+  const RunStats off =
+      disturbed_run(memo::Mode::kOff, [&](rt::Runtime& rt) {
+        rt.set_fault_hook(&hook);
+      });
+  NullFaultHook hook2;
+  const RunStats on = disturbed_run(memo::Mode::kOn, [&](rt::Runtime& rt) {
+    EXPECT_GT(rt.machine().perf().total().memo_hits, 0u)
+        << "memos must be live before the hook arms";
+    rt.set_fault_hook(&hook2);
+  });
+  EXPECT_GT(on.totals.memo_invalidations, 0u)
+      << "a fault hook must observe every op; learned traces may not "
+         "fast-forward past its installation";
+  EXPECT_EQ(on.digest, off.digest);
+}
+
+TEST(MemoInvalidation, AttachingACheckerDropsLiveMemos) {
+  NullObserver obs;
+  const RunStats off = disturbed_run(
+      memo::Mode::kOff, [&](rt::Runtime& rt) { rt.set_sync_observer(&obs); });
+  NullObserver obs2;
+  const RunStats on = disturbed_run(memo::Mode::kOn, [&](rt::Runtime& rt) {
+    rt.set_sync_observer(&obs2);
+  });
+  EXPECT_GT(on.totals.memo_invalidations, 0u);
+  EXPECT_EQ(on.digest, off.digest);
+}
+
+TEST(MemoInvalidation, PowerCycleDropsLiveMemos) {
+  const RunStats off = disturbed_run(
+      memo::Mode::kOff, [&](rt::Runtime& rt) { rt.machine().power_cycle(); });
+  const RunStats on = disturbed_run(
+      memo::Mode::kOn, [&](rt::Runtime& rt) { rt.machine().power_cycle(); });
+  EXPECT_GT(on.totals.memo_invalidations, 0u)
+      << "a power cycle wipes the caches every memo's end state describes";
+  EXPECT_EQ(on.digest, off.digest);
+}
+
+/// Directory steal: thread 0 memoizes reads/writes of its rows, then thread
+/// 1 (a different CPU) writes those same lines, stealing ownership.  The
+/// memoized ops are no longer quiet, so the demotion path must fire and the
+/// later iterations must re-execute -- with the digest unmoved.
+RunStats steal_run(memo::Mode mode) {
+  rt::Runtime rt(Topology{.nodes = 2});
+  rt.set_memo_mode(mode);
+  rt::GlobalArray<double> a(rt, 1024, arch::MemClass::kFarShared, "memo.s");
+  rt.run([&] {
+    // Phase 1: thread 0 alone learns and replays its rows.
+    rt.parallel(1, Placement::kHighLocality,
+                [&](unsigned tid, unsigned) { quiet_loop(rt, a, tid, 16); });
+    // Phase 2: a thread on another CPU dirties those lines.
+    rt.parallel(2, Placement::kUniform, [&](unsigned tid, unsigned) {
+      if (tid == 1) {
+        for (std::size_t j = 0; j < 4; ++j) {
+          rt.write(a.vaddr(j * 64), 64 * sizeof(double));
+        }
+      }
+    });
+    // Phase 3: thread 0 loops again; stolen lines must not fast-forward
+    // from the stale trace.
+    rt.parallel(1, Placement::kHighLocality,
+                [&](unsigned tid, unsigned) { quiet_loop(rt, a, tid, 16); });
+  });
+  return seal(rt);
+}
+
+TEST(MemoInvalidation, DirectoryStealByAnotherCpuDemotes) {
+  const RunStats off = steal_run(memo::Mode::kOff);
+  const RunStats on = steal_run(memo::Mode::kOn);
+  EXPECT_EQ(on.digest, off.digest)
+      << "a stale trace must never replay over stolen lines";
+  EXPECT_EQ(on.elapsed, off.elapsed);
+  EXPECT_GT(on.totals.memo_hits, 0u);
+  EXPECT_GT(on.totals.memo_invalidations, 0u)
+      << "the foreign write must demote or retire the learned memo";
+}
+
+/// PDES shard fuse: node 0's thread memoizes rows that include lines homed
+/// on node 1, while node 1's thread periodically writes one of them.  Under
+/// the sharded engine the re-fetch after each steal crosses shards and
+/// parks at the fusion gate mid-region -- the shard-fuse kill path.  The
+/// digest must match memo-off under the same backend AND the fiber backend.
+RunStats fuse_run(memo::Mode mode, ConductorBackend be) {
+  rt::Runtime rt(Topology{.nodes = 2}, arch::CostModel{}, be);
+  if (be == ConductorBackend::kPdes) rt.conductor().set_workers(2);
+  rt.set_memo_mode(mode);
+  rt::GlobalArray<double> a(rt, 2048, arch::MemClass::kFarShared, "memo.f");
+  rt.run([&] {
+    rt.parallel(2, Placement::kUniform, [&](unsigned tid, unsigned) {
+      if (tid == 0) {
+        quiet_loop(rt, a, 0, 48);
+      } else {
+        // Every few "frames", steal one of thread 0's memoized lines from
+        // the other hypernode.
+        for (unsigned s = 0; s < 6; ++s) {
+          rt.work_ops(40000.0);
+          rt.write(a.vaddr(64), 8);
+        }
+      }
+    });
+  });
+  return seal(rt);
+}
+
+TEST(MemoInvalidation, PdesShardFuseMidRegionInvalidates) {
+  const RunStats off = fuse_run(memo::Mode::kOff, ConductorBackend::kPdes);
+  const RunStats on = fuse_run(memo::Mode::kOn, ConductorBackend::kPdes);
+  const RunStats fib_off = fuse_run(memo::Mode::kOff, ConductorBackend::kFibers);
+  EXPECT_EQ(on.digest, off.digest);
+  EXPECT_EQ(off.digest, fib_off.digest)
+      << "shard count must not leak into the digest";
+  EXPECT_GT(on.totals.memo_invalidations, 0u)
+      << "cross-shard steals must invalidate the victim's traces";
+}
+
+// --- replay-vs-full equality for the real apps ------------------------------
+
+RunStats ppm_run(memo::Mode mode, ConductorBackend be) {
+  rt::Runtime rt(Topology{.nodes = 2}, arch::CostModel{}, be);
+  rt.set_memo_mode(mode);
+  ppm::PpmConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 2;
+  cfg.steps = 4;
+  ppm::PpmTiled app(rt, cfg, 4, Placement::kHighLocality);
+  app.init_sod_x();
+  rt.run([&] { (void)app.run(); });
+  return seal(rt);
+}
+
+RunStats fem_run(memo::Mode mode, ConductorBackend be) {
+  rt::Runtime rt(Topology{.nodes = 2}, arch::CostModel{}, be);
+  rt.set_memo_mode(mode);
+  fem::FemConfig cfg;
+  cfg.nx = 16;
+  cfg.ny = 12;
+  cfg.steps = 4;
+  fem::FemGas app(rt, cfg, 4, Placement::kHighLocality);
+  app.init_blast(2.0, 3.0);
+  rt.run([&] { (void)app.run(); });
+  return seal(rt);
+}
+
+RunStats nbody_run(memo::Mode mode, ConductorBackend be) {
+  rt::Runtime rt(Topology{.nodes = 2}, arch::CostModel{}, be);
+  rt.set_memo_mode(mode);
+  nbody::NbodyConfig cfg;
+  cfg.n = 128;
+  cfg.steps = 2;
+  nbody::NbodyShared app(rt, cfg, 4, Placement::kUniform);
+  rt.run([&] { (void)app.run(); });
+  return seal(rt);
+}
+
+TEST(MemoApps, PpmReplayMatchesFullOnBothBackends) {
+  for (const auto be : {ConductorBackend::kFibers, ConductorBackend::kPdes}) {
+    const RunStats off = ppm_run(memo::Mode::kOff, be);
+    const RunStats on = ppm_run(memo::Mode::kOn, be);
+    EXPECT_EQ(on.digest, off.digest);
+    EXPECT_EQ(on.elapsed, off.elapsed);
+  }
+}
+
+TEST(MemoApps, FemReplayMatchesFullOnBothBackends) {
+  for (const auto be : {ConductorBackend::kFibers, ConductorBackend::kPdes}) {
+    const RunStats off = fem_run(memo::Mode::kOff, be);
+    const RunStats on = fem_run(memo::Mode::kOn, be);
+    EXPECT_EQ(on.digest, off.digest);
+    EXPECT_EQ(on.elapsed, off.elapsed);
+  }
+}
+
+TEST(MemoApps, NbodyReplayMatchesFullOnBothBackends) {
+  for (const auto be : {ConductorBackend::kFibers, ConductorBackend::kPdes}) {
+    const RunStats off = nbody_run(memo::Mode::kOff, be);
+    const RunStats on = nbody_run(memo::Mode::kOn, be);
+    EXPECT_EQ(on.digest, off.digest);
+    EXPECT_EQ(on.elapsed, off.elapsed);
+  }
+}
+
+// --- durable resume with memoization on -------------------------------------
+
+std::string fresh_dir(const std::string& name) {
+  const std::string d =
+      (std::filesystem::temp_directory_path() / ("spp_memo_" + name))
+          .string();
+  std::filesystem::remove_all(d);
+  return d;
+}
+
+/// One femgas durable run with memoization on, in a fresh Runtime (fresh
+/// virtual memory + clock, exactly what a real --resume process sees).
+/// femgas closes its memo regions before every epoch boundary, so the
+/// checkpoint always captures at a memo-region boundary; the resumed run
+/// must re-learn its traces from scratch and still land on the digest of
+/// the uninterrupted run.
+std::uint64_t durable_fem_digest(memo::Mode mode, const std::string& dir,
+                                 unsigned steps, bool resume) {
+  rt::Runtime rt(Topology{.nodes = 1});
+  rt.set_memo_mode(mode);
+  ckpt::DurableSpec spec;
+  spec.dir = dir;
+  spec.interval = 1;
+  spec.resume = resume;
+  rt.run([&] {
+    fem::FemConfig cfg;
+    cfg.nx = 16;
+    cfg.ny = 8;
+    cfg.steps = steps;
+    fem::FemGas app(rt, cfg, 4, Placement::kUniform);
+    app.init_blast(2.0, 3.0);
+    (void)app.run_durable(spec);
+  });
+  return rt.machine().perf().digest(rt.elapsed());
+}
+
+TEST(MemoDurable, ResumeAtMemoBoundaryReachesUninterruptedDigest) {
+  const std::string base = fresh_dir("resume");
+  const std::uint64_t off =
+      durable_fem_digest(memo::Mode::kOff, base + "/off", 4, false);
+  const std::uint64_t want =
+      durable_fem_digest(memo::Mode::kOn, base + "/full", 4, false);
+  EXPECT_EQ(want, off) << "durable memo-on must match durable memo-off";
+
+  // A run that stops after step 2's boundary leaves the same bytes on disk
+  // a SIGKILL at that commit would (every commit is atomic-rename durable);
+  // the in-memory memos die with the process either way.
+  (void)durable_fem_digest(memo::Mode::kOn, base + "/killed", 2, false);
+  const std::uint64_t got =
+      durable_fem_digest(memo::Mode::kOn, base + "/killed", 4, true);
+  EXPECT_EQ(got, want)
+      << "resume must re-learn traces and continue bit-exactly";
+}
+
+}  // namespace
+}  // namespace spp
